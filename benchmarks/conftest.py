@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures: one default-scale world and measurement.
+
+The world is built once per session; each benchmark times the piece of
+the pipeline that regenerates its table or figure and prints the
+measured-vs-paper series.
+"""
+
+import pytest
+
+from repro.core import URHunter
+from repro.scenario import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The default-scale scenario used by every benchmark."""
+    return build_world(ScenarioConfig(seed=7))
+
+
+@pytest.fixture(scope="session")
+def bench_report(bench_world):
+    """One full URHunter measurement over the benchmark world."""
+    hunter = URHunter.from_world(bench_world)
+    return hunter.run()
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

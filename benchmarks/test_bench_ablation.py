@@ -1,0 +1,177 @@
+"""Ablation benchmarks for URHunter's design choices (DESIGN.md §5).
+
+Not paper tables — these quantify the knobs the paper fixes:
+
+  * each Appendix-B uniformity condition's contribution to exclusion;
+  * the IDS severity threshold (the paper requires >= medium);
+  * the two evidence sources (threat intel vs sandbox IDS);
+  * the number of open-resolver vantage points (the paper uses 3K).
+"""
+
+import pytest
+
+from repro.core import (
+    ALL_CONDITIONS,
+    COND_AS,
+    COND_CERT,
+    COND_GEO,
+    COND_HTTP,
+    COND_IP,
+    COND_PDNS,
+    HunterConfig,
+    URHunter,
+)
+from repro.sandbox.ids import Severity
+
+from .conftest import banner
+
+
+def _run(world, config=None):
+    return URHunter.from_world(world, config).run(validate=False)
+
+
+def test_uniformity_condition_ablation(benchmark, bench_world):
+    """Measure each Appendix-B condition's exclusion power, two ways:
+    leave-one-out (marginal contribution) and only-one-enabled
+    (standalone power).  The conditions are highly correlated — IP/AS/
+    cert all derive from the same open-resolver observations — so the
+    standalone view is where individual power shows."""
+
+    def sweep():
+        results = {}
+        results["all"] = len(_run(bench_world).suspicious)
+        results["none"] = len(
+            _run(
+                bench_world,
+                HunterConfig(enabled_conditions=frozenset()),
+            ).suspicious
+        )
+        for condition in sorted(ALL_CONDITIONS):
+            without = HunterConfig(
+                enabled_conditions=ALL_CONDITIONS - {condition}
+            )
+            only = HunterConfig(enabled_conditions=frozenset({condition}))
+            results[f"without {condition}"] = len(
+                _run(bench_world, without).suspicious
+            )
+            results[f"only {condition}"] = len(
+                _run(bench_world, only).suspicious
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    banner("ablation: Appendix-B uniformity conditions")
+    baseline, none = results["all"], results["none"]
+    print(f"  {'all conditions':22} suspicious={baseline:6d}")
+    print(f"  {'no conditions':22} suspicious={none:6d}")
+    for condition in sorted(ALL_CONDITIONS):
+        print(
+            f"  only {condition:17} suspicious={results[f'only {condition}']:6d}"
+            f"   without: {results[f'without {condition}']:6d}"
+        )
+    # Sanity: each subset of conditions excludes at most what all do.
+    for label, count in results.items():
+        assert baseline <= count <= none, label
+    # Standalone power: the IP-subset condition alone removes a large
+    # share of the correct records (open resolvers are the primary
+    # correct-record source).
+    assert results[f"only {COND_IP}"] < none
+    # And geo/HTTP carry marginal contributions the others don't cover.
+    assert results[f"without {COND_HTTP}"] >= baseline
+    assert results[f"without {COND_GEO}"] >= baseline
+
+
+def test_severity_threshold_ablation(benchmark, bench_world):
+    """LOW/MEDIUM/HIGH thresholds change the IDS evidence volume."""
+
+    def sweep():
+        return {
+            severity.name: len(
+                _run(
+                    bench_world, HunterConfig(min_severity=severity)
+                ).malicious
+            )
+            for severity in (Severity.LOW, Severity.MEDIUM, Severity.HIGH)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    banner("ablation: IDS severity threshold (paper: >= MEDIUM)")
+    for label, count in results.items():
+        print(f"  min severity {label:6} -> {count} malicious URs")
+    assert results["LOW"] >= results["MEDIUM"] >= results["HIGH"]
+
+
+def test_evidence_source_ablation(benchmark, bench_world):
+    """Threat intel and IDS evidence each find URs the other misses
+    (Figure 3(a)'s point)."""
+
+    def sweep():
+        both = len(_run(bench_world).malicious)
+        intel_only = len(
+            _run(bench_world, HunterConfig(use_ids=False)).malicious
+        )
+        ids_only = len(
+            _run(bench_world, HunterConfig(use_intel=False)).malicious
+        )
+        return {"both": both, "intel only": intel_only, "ids only": ids_only}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    banner("ablation: evidence sources (threat intel vs sandbox IDS)")
+    for label, count in results.items():
+        print(f"  {label:10} -> {count} malicious URs")
+    assert results["both"] > results["intel only"]
+    assert results["both"] > results["ids only"]
+
+
+def test_cohost_join_ablation(benchmark, bench_world):
+    """The §4.3 A/TXT co-hosting join: without it, TXT URs whose data
+    embeds no IP can never be labeled malicious."""
+
+    def sweep():
+        with_join = _run(bench_world)
+        without_join = _run(
+            bench_world, HunterConfig(use_cohost_join=False)
+        )
+        from repro.dns.rdata import RRType
+
+        def malicious_txt(report):
+            return sum(
+                1
+                for entry in report.malicious
+                if entry.record.rrtype == RRType.TXT
+            )
+
+        return {
+            "with join": malicious_txt(with_join),
+            "without join": malicious_txt(without_join),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    banner("ablation: the A/TXT co-hosting join (§4.3)")
+    for label, count in results.items():
+        print(f"  {label:13} -> {count} malicious TXT URs")
+    assert results["with join"] >= results["without join"]
+
+
+def test_open_resolver_count_sweep(benchmark, bench_world):
+    """Fewer vantage points -> thinner correct-record profiles -> more
+    legitimate URs misclassified as suspicious."""
+
+    def sweep():
+        full = bench_world.open_resolver_ips
+        results = {}
+        for count in (1, len(full) // 4, len(full)):
+            hunter = URHunter.from_world(bench_world)
+            hunter.open_resolver_ips = full[:count]
+            report = hunter.run(validate=False)
+            results[count] = len(report.suspicious)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    banner("ablation: open-resolver vantage points (paper: 3K)")
+    for count, suspicious in sorted(results.items()):
+        print(f"  {count:3d} resolvers -> suspicious={suspicious}")
+    counts = sorted(results)
+    # Coverage is monotone: more vantage points never increase the
+    # suspicious set.
+    assert results[counts[0]] >= results[counts[-1]]

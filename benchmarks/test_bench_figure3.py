@@ -1,0 +1,82 @@
+"""Benchmark: regenerate Figure 3(a)-(d) (malicious-IP analysis).
+
+Paper values:
+  3(a) label provenance: intel-only 34.20%, IDS-only 36.62%, both 29.18%;
+  3(b) flagging-vendor counts: 1-2 77.90%, 3-4 16.31%, 5-6 2.01%, 7-11 3.78%;
+  3(c) alert mix: Trojan 41.67%, Other 23.86%, Privacy 21.19%,
+       C&C 10.82%, Bad Traffic 2.46%;
+  3(d) vendor tags (multi-label): Trojan 89.01%, Scanner 41.01%,
+       Other 33.33%, Malware 19.11%, C&C 16.25%, Botnet 10.23%.
+
+Plus the §5.2 statistic: 90.95% of malicious TXT URs are email-related.
+"""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_EMAIL_TXT_SHARE,
+    PAPER_FIGURE3A,
+    PAPER_FIGURE3B,
+    PAPER_FIGURE3C,
+    PAPER_FIGURE3D,
+    compare_to_paper,
+    figure3a,
+    figure3b,
+    figure3c,
+    figure3d,
+)
+
+from .conftest import banner
+
+
+def test_figure3a(benchmark, bench_report):
+    figure = benchmark(figure3a, bench_report)
+    banner("Figure 3(a): why IP addresses were labeled")
+    print(figure.text)
+    print("\n" + compare_to_paper(figure.series, PAPER_FIGURE3A))
+    # Shape: all three evidence sources contribute; none dominates
+    # overwhelmingly (paper: roughly a third each).
+    assert set(figure.series) == {"intel", "ids", "both"}
+    assert all(share > 5.0 for share in figure.series.values())
+
+
+def test_figure3b(benchmark, bench_report):
+    figure = benchmark(figure3b, bench_report)
+    banner("Figure 3(b): # vendors flagging each malicious IP")
+    print(figure.text)
+    print("\n" + compare_to_paper(figure.series, PAPER_FIGURE3B))
+    # Shape: the 1-2 bucket dominates by a wide margin.
+    assert figure.series["1-2"] == max(figure.series.values())
+    assert figure.series["1-2"] > 50.0
+
+
+def test_figure3c(benchmark, bench_report):
+    figure = benchmark(figure3c, bench_report)
+    banner("Figure 3(c): malicious activities in traffic toward UR IPs")
+    print(figure.text)
+    print("\n" + compare_to_paper(figure.series, PAPER_FIGURE3C))
+    # Shape: Trojan activity is the single largest alert category.
+    assert figure.series
+    top_category = max(figure.series, key=figure.series.get)
+    assert top_category == "Trojan Activity"
+
+
+def test_figure3d(benchmark, bench_report):
+    figure = benchmark(figure3d, bench_report)
+    banner("Figure 3(d): vendor tags on malicious IPs (multi-label)")
+    print(figure.text)
+    print("\n" + compare_to_paper(figure.series, PAPER_FIGURE3D))
+    # Shape: Trojan dominates (paper 89%), Scanner second (paper 41%).
+    assert max(figure.series, key=figure.series.get) == "Trojan"
+    assert figure.series["Trojan"] > 60.0
+    assert figure.series.get("Scanner", 0.0) > 15.0
+
+
+def test_email_related_txt_share(benchmark, bench_report):
+    share = benchmark(bench_report.email_related_txt_share)
+    banner("§5.2: email-related share of malicious TXT URs")
+    print(
+        f"measured: {share:.2f}%   paper: {PAPER_EMAIL_TXT_SHARE:.2f}%"
+    )
+    # Shape: email-shaped records (SPF/DMARC) dominate malicious TXT.
+    assert share > 50.0

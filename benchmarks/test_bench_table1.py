@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 1 (overview of suspicious URs).
+
+Paper values (IMC '23 Table 1, Total row): 1,580,925 suspicious URs of
+which 401,718 (25.41%) malicious, spanning 1,369/1,999 domains (68.48%),
+5,048/6,351 nameservers (79.48%), and 248/347 providers (71.47%).
+
+We reproduce the *shape*: the malicious share of suspicious URs, the
+high nameserver/provider coverage, and A-records carrying most of the
+malicious volume.
+"""
+
+from repro.analysis import build_table1
+
+from .conftest import banner
+
+
+def test_table1(benchmark, bench_report):
+    table = benchmark(build_table1, bench_report)
+
+    banner("Table 1: overview of suspicious undelegated records")
+    print(table.text)
+    total = table.rows["Total"]
+    print(
+        f"\nmeasured malicious share of suspicious URs: "
+        f"{total.urs_malicious_pct:.2f}%   (paper: 25.41%)"
+    )
+    print(
+        f"measured malicious nameserver coverage:     "
+        f"{total.nameservers_malicious_pct:.2f}%   (paper: 79.48%)"
+    )
+    print(
+        f"measured malicious provider coverage:       "
+        f"{total.providers_malicious_pct:.2f}%   (paper: 71.47%)"
+    )
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert 5.0 < total.urs_malicious_pct < 60.0
+    a_row, txt_row = table.rows["A"], table.rows["TXT"]
+    assert a_row.urs_malicious >= txt_row.urs_malicious
+    assert total.nameservers_malicious_pct > total.urs_malicious_pct

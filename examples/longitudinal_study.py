@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Longitudinal UR measurement with attacker churn.
+
+The paper measured twice (April and December 2022) and observed change
+over time — Dark.IoT abandoning EmerDNS, some case-study URs becoming
+unresolvable while the SPF masquerade stayed up.  This example runs
+three monthly URHunter snapshots against an evolving world:
+
+  round 1: the baseline world;
+  round 2: a new campaign appears, the Dark.IoT pastebin zone is taken
+           down, and a vendor flags a previously unknown C2;
+  round 3: a provider rolls out the delegation-verification mitigation.
+"""
+
+from repro.core import LongitudinalStudy, URHunter
+from repro.hosting import VerificationMode
+from repro.scenario import ScenarioConfig, build_world
+
+
+def main() -> None:
+    world = build_world(ScenarioConfig(seed=7))
+    cloudns = world.providers["ClouDNS"]
+
+    def mutate(world_obj, round_index):
+        attacker = world_obj.attacker
+        if round_index == 1:
+            # Attacker churn: a new wave plus a takedown.
+            campaign = attacker.new_campaign("late-wave", ["ClouDNS"])
+            (c2,) = attacker.stand_up_c2(1)
+            for candidate in world_obj.domain_targets:
+                if attacker.plant_a_record(
+                    campaign, cloudns, str(candidate.domain), c2
+                ):
+                    print(
+                        f"  [churn] new campaign targets "
+                        f"{candidate.domain} -> {c2}"
+                    )
+                    break
+            darkiot = world_obj.case_studies["Dark.IoT"]
+            for hosted in list(darkiot.hosted_zones):
+                if str(hosted.domain) == "raw.pastebin.com":
+                    cloudns.delete_zone(hosted)
+                    print("  [churn] raw.pastebin.com UR taken down")
+            # Late intel: a vendor catches up with one quiet C2.
+            for address in sorted(attacker.all_c2_ips()):
+                if not world_obj.intel.is_flagged(address):
+                    world_obj.vendors[0].flag(address, ["Trojan"])
+                    print(f"  [churn] vendor flags {address}")
+                    break
+        elif round_index == 2:
+            # Mitigation roll-out: Tencent-style delegation verification.
+            from dataclasses import replace
+
+            godaddy = world_obj.providers["Godaddy"]
+            godaddy.policy = replace(
+                godaddy.policy,
+                verification=VerificationMode.REQUIRE_DELEGATION,
+            )
+            for hosted in godaddy.hosted_zones():
+                godaddy.recheck_verification(hosted)
+            print(
+                "  [mitigation] Godaddy now requires delegation; "
+                "unverified zones unloaded"
+            )
+
+    study = LongitudinalStudy(world, mutate=mutate)
+    print("running three monthly snapshots ...")
+    snapshots = study.run(rounds=3, interval=30 * 24 * 3600.0)
+
+    for snapshot in snapshots:
+        counts = snapshot.report.category_counts()
+        print(
+            f"\nsnapshot {snapshot.index}: "
+            f"{len(snapshot.report.classified)} URs "
+            f"(malicious={counts['malicious']}, "
+            f"unknown={counts['unknown']})"
+        )
+
+    print("\nchanges between snapshots:")
+    for index, diff in enumerate(study.diffs()):
+        print(f"  round {index} -> {index + 1}: {diff.summary()}")
+        upgraded = diff.became_malicious()
+        if upgraded:
+            print(
+                f"    {len(upgraded)} persisted URs became malicious "
+                "after late intel flags"
+            )
+
+
+if __name__ == "__main__":
+    main()

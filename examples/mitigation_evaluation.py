@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Evaluate the paper's §6 mitigations by re-measuring a mitigated world.
+
+Runs URHunter twice on identically-seeded scenarios — once with
+pre-disclosure provider policies, once with the post-disclosure fixes
+(DNSPod delegation verification, Alibaba TXT challenge, Cloudflare's
+expanded blacklist) — and compares how much attacker-usable UR surface
+disappears on the fixed providers.
+"""
+
+from repro.core import URHunter
+from repro.scenario import ScenarioConfig, build_world
+
+FIXED_PROVIDERS = ("Tencent Cloud", "Alibaba Cloud", "Cloudflare")
+
+
+def measure(post_disclosure: bool):
+    config = ScenarioConfig(seed=7, post_disclosure=post_disclosure)
+    world = build_world(config)
+    report = URHunter.from_world(world).run(validate=False)
+    return world, report
+
+
+def suspicious_by_provider(report):
+    counts = {}
+    for entry in report.suspicious:
+        counts[entry.record.provider] = (
+            counts.get(entry.record.provider, 0) + 1
+        )
+    return counts
+
+
+def main() -> None:
+    print("measuring pre-disclosure world ...")
+    _, before_report = measure(post_disclosure=False)
+    print("measuring post-disclosure world ...")
+    _, after_report = measure(post_disclosure=True)
+
+    before = suspicious_by_provider(before_report)
+    after = suspicious_by_provider(after_report)
+
+    print("\nsuspicious URs per provider, before -> after disclosure:")
+    for provider_name in sorted(set(before) | set(after)):
+        old = before.get(provider_name, 0)
+        new = after.get(provider_name, 0)
+        marker = ""
+        if provider_name in FIXED_PROVIDERS:
+            marker = "   <- applied a mitigation"
+        print(f"  {provider_name:18} {old:6d} -> {new:6d}{marker}")
+
+    tencent_after = after.get("Tencent Cloud", 0)
+    print(
+        "\nTencent Cloud fully adopted mitigation option (1) — verifying "
+        "TLD delegation —\nso its nameservers no longer serve attacker "
+        f"zones at all (suspicious URs after: {tencent_after})."
+    )
+    print(
+        "Cloudflare and Alibaba remain partially exploitable, as the "
+        "paper notes:\nCloudflare only expanded its domain blacklist, and "
+        "Alibaba's TXT challenge\ngates serving but attacker-favoured "
+        "renowned domains merely became fewer."
+    )
+
+
+if __name__ == "__main__":
+    main()

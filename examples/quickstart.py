@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build a simulated internet, run URHunter, print the results.
+
+This reproduces the paper's end-to-end flow in one script:
+
+1. :func:`repro.scenario.build_world` assembles providers, legitimate
+   hosting, attackers (including the §5.3 case-study campaigns), threat
+   intel, and a malware sandbox;
+2. :class:`repro.core.URHunter` runs the three-stage measurement;
+3. the analysis layer prints the §5.1 funnel, Table 1, and Figure 2.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.analysis import build_table1, figure2, overview_funnel
+from repro.core import URHunter
+from repro.scenario import ScenarioConfig, build_world
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    print(f"building simulated internet (seed={seed}) ...")
+    world = build_world(ScenarioConfig(seed=seed))
+    print(
+        f"  {len(world.providers)} hosting providers, "
+        f"{len(world.nameserver_targets)} target nameservers, "
+        f"{len(world.domain_targets)} target domains, "
+        f"{len(world.samples)} sandboxed malware samples"
+    )
+
+    print("\nrunning URHunter (collect -> exclude -> analyze) ...")
+    hunter = URHunter.from_world(world)
+    report = hunter.run()
+
+    print("\n=== Overview (paper §5.1) ===")
+    funnel = overview_funnel(report)
+    for key, value in funnel.items():
+        print(f"  {key:12} {value:,}")
+    print(report.summary())
+
+    print("\n" + build_table1(report).text)
+    print("\n" + figure2(report).text)
+
+    print(
+        "\nvalidation: feeding delegated records through the exclusion "
+        f"stage gives a false-negative rate of "
+        f"{report.false_negative_rate:.4f} (paper: 0.0)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare URs with the related attacks the paper positions against (§3).
+
+Builds one small delegation tree and runs three techniques against it:
+
+  1. dangling-record takeover — needs stale state, hijacks normal
+     resolution (loud);
+  2. domain shadowing — needs an account compromise, visible under the
+     legitimate delegation (loud);
+  3. the undelegated record — needs nothing but a free account, and
+     normal resolution never changes (silent).
+"""
+
+from repro.dns import Message, RecursiveResolver, RRType
+from repro.hosting import DnsRoot, make_cloudns, make_godaddy
+from repro.net import PrefixPlanner, SimulatedInternet
+from repro.scenario import (
+    attempt_dangling_takeover,
+    create_dangling_delegation,
+    resolves_to,
+    shadow_domain,
+)
+
+ATTACKER_IP = "203.0.113.66"
+LEGIT_IP = "198.51.100.10"
+
+
+def main() -> None:
+    network = SimulatedInternet()
+    root = DnsRoot(network)
+    planner = PrefixPlanner()
+    godaddy = make_godaddy(network, planner.pool("gd"))
+    cloudns = make_cloudns(network, planner.pool("cd"))
+    for provider in (godaddy, cloudns):
+        root.connect_provider(provider)
+    resolver = RecursiveResolver("9.9.9.9", network, root.root_addresses)
+
+    print("=== 1. dangling-record takeover (needs stale state) ===")
+    create_dangling_delegation(root, godaddy, "abandoned.com")
+    takeover = attempt_dangling_takeover(
+        root, godaddy, "abandoned.com", ATTACKER_IP
+    )
+    print(
+        f"  takeover succeeded={takeover.succeeded}, hijacks normal "
+        f"resolution={takeover.hijacks_normal_resolution}"
+    )
+    print(
+        "  recursive lookup of abandoned.com -> "
+        f"{resolver.lookup_a('abandoned.com')}  <- VISIBLE hijack"
+    )
+
+    print("\n=== 2. domain shadowing (needs account compromise) ===")
+    owner = godaddy.create_account()
+    victim = godaddy.host_zone(owner, "victim.net", is_registered=True)
+    godaddy.add_record(victim, "victim.net", "A", LEGIT_IP)
+    root.register("victim.net", "owner")
+    root.delegate("victim.net", godaddy.nameserver_set_for_delegation(victim))
+    shadowed = shadow_domain(victim, "cdn-x9k2", ATTACKER_IP)
+    print(f"  spawned shadow {shadowed.shadow}")
+    print(
+        "  recursive lookup of the shadow -> "
+        f"{resolver.lookup_a(str(shadowed.shadow))}  <- VISIBLE under "
+        "the legitimate zone"
+    )
+
+    print("\n=== 3. undelegated record (needs nothing) ===")
+    ur_zone = cloudns.host_zone(
+        cloudns.create_account(), "victim.net", is_registered=True
+    )
+    cloudns.add_record(ur_zone, "victim.net", "A", ATTACKER_IP)
+    normal = resolver.lookup_a("victim.net")
+    print(f"  normal resolution of victim.net -> {normal}  <- UNCHANGED")
+    assert not resolves_to(resolver, "victim.net", ATTACKER_IP)
+    response = network.query_dns(
+        "10.9.9.9",
+        ur_zone.nameserver_addresses()[0],
+        Message.make_query("victim.net", RRType.A),
+    )
+    print(
+        "  direct query at the ClouDNS nameserver -> "
+        f"{response.answers[0].rdata.address}  <- the covert channel"
+    )
+    print(
+        "\nconclusion: the UR needs no stale delegation and no compromise, "
+        "and leaves normal\nresolution untouched — the paper's §3 argument, "
+        "executed."
+    )
+
+
+if __name__ == "__main__":
+    main()

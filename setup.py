@@ -1,0 +1,10 @@
+"""Setup shim for environments without the wheel package.
+
+``pip install -e .`` uses PEP 660 (which needs wheel); this shim lets
+``python setup.py develop`` work offline.  Configuration lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

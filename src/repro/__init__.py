@@ -1,0 +1,31 @@
+"""URHunter reproduction: undelegated-record measurement on DNS hosting.
+
+Reproduction of "Wolf in Sheep's Clothing: Evaluating Security Risks of the
+Undelegated Record on DNS Hosting Services" (IMC 2023).
+
+The package layers:
+
+* :mod:`repro.dns` — a from-scratch DNS implementation (names, wire format,
+  zones, authoritative servers, recursive/open resolvers);
+* :mod:`repro.net` — a deterministic simulated internet with traffic capture;
+* :mod:`repro.hosting` — DNS hosting providers with configurable policies;
+* :mod:`repro.intel` — IP metadata, passive DNS, and multi-vendor threat
+  intelligence;
+* :mod:`repro.sandbox` — malware families, a sandbox, and a rule-based IDS;
+* :mod:`repro.core` — **URHunter** itself: response collection, suspicious
+  record determination, malicious behaviour analysis;
+* :mod:`repro.scenario` — world generation (synthetic top list, attackers);
+* :mod:`repro.analysis` — the paper's tables and figures.
+
+Quickstart::
+
+    from repro.scenario import ScenarioConfig, build_world
+    from repro.core import URHunter
+
+    world = build_world(ScenarioConfig(seed=7))
+    hunter = URHunter.from_world(world)
+    report = hunter.run()
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,114 @@
+"""Ground-truth scoring: what the paper could not measure.
+
+The original study has no ground truth — "there may be under-reporting
+in our analysis" is as far as it can go.  In simulation the attacker's
+planted records are known exactly, so URHunter's verdicts can be scored:
+
+* **precision** of the malicious label (did any benign UR get flagged?);
+* **stage-2 misses** — attacker URs excluded as correct/protective
+  (in practice: geo-condition coincidences);
+* **under-reporting** — attacker URs that stayed *unknown* because no
+  vendor flagged their C2 and no sandbox sample exercised it, the
+  paper's own explanation for its 25% malicious share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.records import ClassifiedUR, URCategory
+from ..core.report import MeasurementReport
+
+
+@dataclass
+class GroundTruthScore:
+    """URHunter verdicts against the attacker's planted-record set."""
+
+    #: attacker URs labeled malicious
+    true_positives: int
+    #: benign URs labeled malicious
+    false_positives: int
+    #: attacker URs that stayed unknown (unobservable C2s)
+    under_reported: int
+    #: attacker URs excluded by stage 2 (correct/protective)
+    stage2_misses: int
+    #: benign URs correctly not labeled malicious
+    true_negatives: int
+    #: the stage-2 miss entries, for inspection
+    missed_entries: List[ClassifiedUR]
+
+    @property
+    def attacker_urs(self) -> int:
+        return self.true_positives + self.under_reported + self.stage2_misses
+
+    @property
+    def precision(self) -> float:
+        """Of the URs labeled malicious, how many are really attacks."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Of all attacker URs, how many got the malicious label."""
+        return (
+            self.true_positives / self.attacker_urs
+            if self.attacker_urs
+            else 0.0
+        )
+
+    @property
+    def observable_recall(self) -> float:
+        """Recall over attacker URs that survived stage 2 — the share
+        evidence *could* have labeled (excludes stage-2 misses)."""
+        observable = self.true_positives + self.under_reported
+        return self.true_positives / observable if observable else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"(observable recall={self.observable_recall:.3f}); "
+            f"{self.under_reported} attacker URs under-reported, "
+            f"{self.stage2_misses} excluded by stage 2"
+        )
+
+
+def score_against_ground_truth(
+    report: MeasurementReport, world: "object"
+) -> GroundTruthScore:
+    """Score a measurement against the world's planted-record identities."""
+    identities = world.attacker_identities
+    true_positives = 0
+    false_positives = 0
+    under_reported = 0
+    stage2_misses = 0
+    true_negatives = 0
+    missed: List[ClassifiedUR] = []
+    for entry in report.classified:
+        identity = (
+            entry.record.domain,
+            entry.record.rrtype,
+            entry.record.rdata_text,
+        )
+        is_attack = identity in identities
+        if entry.category is URCategory.MALICIOUS:
+            if is_attack:
+                true_positives += 1
+            else:
+                false_positives += 1
+        elif is_attack:
+            if entry.category is URCategory.UNKNOWN:
+                under_reported += 1
+            else:
+                stage2_misses += 1
+                missed.append(entry)
+        else:
+            true_negatives += 1
+    return GroundTruthScore(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        under_reported=under_reported,
+        stage2_misses=stage2_misses,
+        true_negatives=true_negatives,
+        missed_entries=missed,
+    )

@@ -1,0 +1,229 @@
+"""Table builders: Table 1 (suspicious-UR overview) and Table 2 (hosting
+strategies).
+
+Table 1 reads a :class:`~repro.core.report.MeasurementReport`.  Table 2 is
+an *active experiment*: it probes live providers with test accounts the
+way Appendix C describes (two accounts, ~30 domains, eTLD and unregistered
+candidates, duplicate hosting attempts, retrieval attempts) and reports
+what the provider allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.report import MeasurementReport, TypeStats
+from ..hosting.policy import PolicyProbeResult
+from ..hosting.provider import HostingError, HostingProvider
+from .formatting import format_count_with_pct, render_table
+
+#: probe domains per Appendix C: top-100-style SLDs, eTLDs, unregistered
+PROBE_SLDS = (
+    "probe-popular-a.com",
+    "probe-popular-b.net",
+    "probe-popular-c.org",
+    "probe-popular-d.io",
+    "probe-popular-e.co",
+)
+PROBE_ETLDS = ("gov.cn", "edu.cn", "gov.kp", "edu.kp", "co.uk")
+PROBE_UNREGISTERED = (
+    "probe-unregistered-a.com",
+    "probe-unregistered-b.net",
+    "probe-unregistered-c.org",
+)
+PROBE_SUBDOMAINS = ("api.probe-popular-a.com", "cdn.probe-popular-b.net")
+
+
+@dataclass
+class Table1:
+    """The rendered Table 1 plus its raw rows."""
+
+    rows: Dict[str, TypeStats]
+    text: str
+
+
+def build_table1(report: MeasurementReport) -> Table1:
+    """Table 1: overview of suspicious URs by record type."""
+    stats = report.suspicious_stats()
+    headers = (
+        "Category",
+        "# Domain (mal)",
+        "# Nameserver (mal)",
+        "# Provider (mal)",
+        "# UR (mal)",
+        "# IP (mal)",
+    )
+    rows = []
+    for label in ("A", "TXT", "Total"):
+        entry = stats[label]
+        rows.append(
+            (
+                label,
+                f"{entry.domains_total:,} / "
+                + format_count_with_pct(
+                    entry.domains_malicious, entry.domains_malicious_pct
+                ),
+                f"{entry.nameservers_total:,} / "
+                + format_count_with_pct(
+                    entry.nameservers_malicious,
+                    entry.nameservers_malicious_pct,
+                ),
+                f"{entry.providers_total:,} / "
+                + format_count_with_pct(
+                    entry.providers_malicious,
+                    entry.providers_malicious_pct,
+                ),
+                f"{entry.urs_total:,} / "
+                + format_count_with_pct(
+                    entry.urs_malicious, entry.urs_malicious_pct
+                ),
+                f"{entry.ips_total:,} / "
+                + format_count_with_pct(
+                    entry.ips_malicious, entry.ips_malicious_pct
+                ),
+            )
+        )
+    text = render_table(
+        headers,
+        rows,
+        title="Table 1: Overview of suspicious undelegated records",
+    )
+    return Table1(rows=stats, text=text)
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — active policy probing
+# ---------------------------------------------------------------------------
+
+
+def probe_provider(provider: HostingProvider) -> PolicyProbeResult:
+    """Actively probe one provider with two throwaway accounts.
+
+    Mirrors the Appendix C process: try hosting popular SLDs, eTLDs,
+    subdomains and unregistered domains; try duplicate hosting from both
+    accounts; try owner retrieval.  Every hosted zone is deleted
+    afterwards (the paper's ethics appendix).
+    """
+    first = provider.create_account(paid=True)
+    second = provider.create_account(paid=True)
+    created = []
+
+    def attempt(account, domain: str, is_registered: bool = True) -> bool:
+        try:
+            hosted = provider.host_zone(
+                account, domain, is_registered=is_registered
+            )
+        except HostingError:
+            return False
+        created.append(hosted)
+        # Harmless probe records, as in the paper's ethics protocol.
+        provider.add_record(hosted, domain, "A", "127.0.0.1")
+        return True
+
+    allows_sld = any(
+        attempt(first, domain) for domain in PROBE_SLDS
+    )
+    allows_etld = any(attempt(first, domain) for domain in PROBE_ETLDS)
+    allows_subdomain = any(
+        attempt(first, domain) for domain in PROBE_SUBDOMAINS
+    )
+    allows_unregistered = any(
+        attempt(first, domain, is_registered=False)
+        for domain in PROBE_UNREGISTERED
+    )
+
+    # Duplicate hosting: same account twice, then a second account.
+    duplicate_single = attempt(first, PROBE_SLDS[0])
+    duplicate_cross = attempt(second, PROBE_SLDS[0])
+
+    # Hosting without verification: did anything get served although the
+    # probe domains are not delegated to the provider?
+    hosts_without_verification = any(
+        any(
+            entry.server.hosts_zone(hosted.domain)
+            for entry in hosted.nameservers
+        )
+        for hosted in created
+    )
+
+    no_retrieval = not provider.policy.supports_retrieval
+
+    notes = set()
+    if provider.policy.reserved:
+        notes.add("some tested domains were prohibited from hosting")
+    if provider.policy.subdomains_require_payment:
+        notes.add("subdomain hosting requires payment")
+    if provider.policy.paid_sync_all_nameservers:
+        notes.add("paid accounts can sync zones to the whole pool")
+
+    # Ethics: remove everything we hosted.
+    for hosted in created:
+        provider.delete_zone(hosted)
+
+    return PolicyProbeResult(
+        provider=provider.name,
+        ns_allocation=provider.policy.ns_allocation,
+        hosts_without_verification=hosts_without_verification,
+        allows_unregistered=allows_unregistered,
+        allows_subdomain=allows_subdomain,
+        allows_sld=allows_sld,
+        allows_etld=allows_etld,
+        duplicate_single_user=duplicate_single,
+        duplicate_cross_user=duplicate_cross,
+        no_retrieval=no_retrieval,
+        notes=frozenset(notes),
+    )
+
+
+@dataclass
+class Table2:
+    """The rendered Table 2 plus its raw probe results."""
+
+    results: List[PolicyProbeResult]
+    text: str
+
+
+def build_table2(
+    providers: Sequence[HostingProvider],
+) -> Table2:
+    """Probe every provider and render the hosting-strategy matrix."""
+    results = [probe_provider(provider) for provider in providers]
+    results.sort(key=lambda result: result.provider)
+
+    def mark(value: bool) -> str:
+        return "yes" if value else "no"
+
+    headers = (
+        "Provider",
+        "NS allocation",
+        "No verification",
+        "Unregistered",
+        "Subdomain",
+        "SLD",
+        "eTLD",
+        "Dup single",
+        "Dup cross",
+        "No retrieval",
+    )
+    rows = [
+        (
+            result.provider,
+            result.ns_allocation.value,
+            mark(result.hosts_without_verification),
+            mark(result.allows_unregistered),
+            mark(result.allows_subdomain),
+            mark(result.allows_sld),
+            mark(result.allows_etld),
+            mark(result.duplicate_single_user),
+            mark(result.duplicate_cross_user),
+            mark(result.no_retrieval),
+        )
+        for result in results
+    ]
+    text = render_table(
+        headers,
+        rows,
+        title="Table 2: Hosting strategy for common DNS hosting providers",
+    )
+    return Table2(results=results, text=text)

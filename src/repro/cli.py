@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation artifacts:
+
+* ``run``        — full measurement, §5.1 overview summary;
+* ``table1``     — suspicious-UR overview by record type;
+* ``table2``     — hosting-strategy matrix by active probing;
+* ``figures``    — Figure 2 and Figure 3(a)-(d) with paper comparisons;
+* ``casestudies``— the §5.3 case studies;
+* ``defenses``   — score reputation vs direct-resolution monitoring;
+* ``validate``   — the §4.2 zero-false-negative check.
+
+Shared options: ``--seed``, ``--scale {small,default,paper}``,
+``--post-disclosure``, ``--mx`` (future-work MX sweep).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    PAPER_FIGURE3A,
+    PAPER_FIGURE3B,
+    PAPER_FIGURE3C,
+    PAPER_FIGURE3D,
+    all_case_studies,
+    build_table1,
+    build_table2,
+    compare_to_paper,
+    figure2,
+    figure3a,
+    figure3b,
+    figure3c,
+    figure3d,
+    overview_funnel,
+)
+from .core import HunterConfig, URHunter
+from .defense import evaluate_defenses
+from .dns.rdata import RRType
+from .hosting import TABLE2_PROVIDERS
+from .scenario import (
+    ScenarioConfig,
+    build_world,
+    paper_scale_config,
+    small_config,
+)
+
+_SCALES = {
+    "small": small_config,
+    "default": lambda seed: ScenarioConfig(seed=seed),
+    "paper": paper_scale_config,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "URHunter reproduction: measure undelegated records on a "
+            "simulated internet (IMC 2023)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="scenario seed (default 7)"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="scenario size (default: default)",
+    )
+    parser.add_argument(
+        "--post-disclosure",
+        action="store_true",
+        help="apply the providers' post-disclosure mitigations (§6)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="with 'run': print the complete evaluation document",
+    )
+    parser.add_argument(
+        "--mx",
+        action="store_true",
+        help="also sweep MX records (the paper's future-work extension)",
+    )
+    parser.add_argument(
+        "command",
+        choices=(
+            "run",
+            "table1",
+            "table2",
+            "figures",
+            "casestudies",
+            "defenses",
+            "validate",
+        ),
+        help="what to produce",
+    )
+    return parser
+
+
+def _scenario(args: argparse.Namespace) -> ScenarioConfig:
+    config = _SCALES[args.scale](args.seed)
+    config.post_disclosure = args.post_disclosure
+    return config
+
+
+def _hunter_config(args: argparse.Namespace) -> HunterConfig:
+    config = HunterConfig()
+    if args.mx:
+        config.query_types = (RRType.A, RRType.TXT, RRType.MX)
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(
+        f"# scenario: scale={args.scale} seed={args.seed} "
+        f"post_disclosure={args.post_disclosure} mx={args.mx}",
+        file=sys.stderr,
+    )
+    world = build_world(_scenario(args))
+
+    if args.command == "table2":
+        table = build_table2(
+            [world.providers[provider] for provider in TABLE2_PROVIDERS]
+        )
+        print(table.text)
+        return 0
+
+    hunter = URHunter.from_world(world, _hunter_config(args))
+    needs_validation = args.command in ("run", "validate")
+    report = hunter.run(validate=needs_validation)
+
+    if args.command == "run":
+        if args.full:
+            from .analysis import render_full_report
+
+            nameserver_provider = {
+                target.address: target.provider
+                for target in world.nameserver_targets
+            }
+            print(
+                render_full_report(
+                    report,
+                    sandbox_reports=world.sandbox_reports,
+                    nameserver_provider=nameserver_provider,
+                    world=world,
+                )
+            )
+        else:
+            funnel = overview_funnel(report)
+            for key, value in funnel.items():
+                print(f"{key:12} {value:,}")
+            print()
+            print(report.summary())
+    elif args.command == "table1":
+        print(build_table1(report).text)
+    elif args.command == "figures":
+        print(figure2(report).text)
+        for figure, paper in (
+            (figure3a(report), PAPER_FIGURE3A),
+            (figure3b(report), PAPER_FIGURE3B),
+            (figure3c(report), PAPER_FIGURE3C),
+            (figure3d(report), PAPER_FIGURE3D),
+        ):
+            print()
+            print(figure.text)
+            print(compare_to_paper(figure.series, paper))
+    elif args.command == "casestudies":
+        nameserver_provider = {
+            target.address: target.provider
+            for target in world.nameserver_targets
+        }
+        cases = all_case_studies(
+            report, world.sandbox_reports, nameserver_provider
+        )
+        for case_name, case in cases.items():
+            print(f"[{case_name}] {case.summary()}")
+    elif args.command == "defenses":
+        scores = evaluate_defenses(world)
+        for score in scores.values():
+            print(score.summary())
+    elif args.command == "validate":
+        print(
+            f"false-negative rate on delegated records: "
+            f"{report.false_negative_rate:.4f} (paper: 0.0)"
+        )
+        return 0 if report.false_negative_rate == 0.0 else 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

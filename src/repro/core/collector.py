@@ -1,0 +1,310 @@
+"""Stage 1 — response collection (§4.1).
+
+Three collections feed the pipeline:
+
+1. **Undelegated records** — every (target nameserver × target domain)
+   pair is queried for A and TXT, skipping domains *exactly delegated* to
+   that nameserver; NOERROR answers become candidate URs.
+2. **Correct records** — the same domains resolved through worldwide open
+   resolvers, plus six years of passive DNS, build the per-domain
+   correct-record profiles.
+3. **Protective records** — a probe domain owned by the measurer (hosted
+   nowhere) is queried at every target nameserver; whatever comes back is
+   that server's protective-record fingerprint.
+
+Ethics controls from Appendix A are implemented: queries are issued in a
+randomized order and rate-limited per server against the virtual clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..dns.message import Message, Rcode
+from ..dns.name import Name, name
+from ..dns.rdata import A, MX, TXT, RRType
+from ..net.network import NetworkError, SimulatedInternet
+from .correctness import CorrectRecordDatabase
+from .records import UndelegatedRecord, dedupe_urs
+
+
+@dataclass(frozen=True)
+class NameserverTarget:
+    """One nameserver to be measured."""
+
+    address: str
+    provider: str
+    hostname: Optional[Name] = None
+
+
+@dataclass(frozen=True)
+class DomainTarget:
+    """One domain to be measured, with its top-list rank."""
+
+    domain: Name
+    rank: int
+
+
+@dataclass
+class ProtectiveFingerprint:
+    """The protective records a nameserver serves for unhosted domains.
+
+    Keyed per nameserver; matching is on (rrtype, rdata) because providers
+    synthesize the same data for every unhosted name.
+    """
+
+    nameserver_ip: str
+    records: Set[Tuple[int, str]] = field(default_factory=set)
+
+    def matches(self, rrtype: int, rdata_text: str) -> bool:
+        return (rrtype, rdata_text) in self.records
+
+
+@dataclass
+class CollectionResult:
+    """Everything stage 1 produced."""
+
+    undelegated: List[UndelegatedRecord]
+    correct_db: CorrectRecordDatabase
+    protective: Dict[str, ProtectiveFingerprint]
+    responses_seen: int = 0
+    queries_sent: int = 0
+    timeouts: int = 0
+
+
+#: the record types the paper measures; MX is the §6 future-work
+#: extension ("our methodology is also adaptive for ... other types of
+#: records (e.g., MX records)") and can be enabled via ``query_types``.
+DEFAULT_QUERY_TYPES = (RRType.A, RRType.TXT)
+
+
+class ResponseCollector:
+    """Drives stage 1 against the simulated internet."""
+
+    QUERY_TYPES = DEFAULT_QUERY_TYPES  # kept for backward compatibility
+
+    def __init__(
+        self,
+        network: SimulatedInternet,
+        scanner_ip: str = "203.0.113.53",
+        rng: Optional[random.Random] = None,
+        per_server_interval: float = 0.0,
+        query_types: Sequence[int] = DEFAULT_QUERY_TYPES,
+    ):
+        self.network = network
+        self.scanner_ip = scanner_ip
+        self.rng = rng or random.Random(1)
+        #: seconds of virtual time between queries to the same server
+        #: (the paper averaged one query per server per 130 s)
+        self.per_server_interval = per_server_interval
+        self.query_types = tuple(query_types)
+        network.register_stub(scanner_ip)
+
+    # -- undelegated records ----------------------------------------------
+
+    def collect_urs(
+        self,
+        nameservers: Sequence[NameserverTarget],
+        domains: Sequence[DomainTarget],
+        delegated_to: Dict[Name, Set[str]],
+    ) -> Tuple[List[UndelegatedRecord], int, int, int]:
+        """Query every nameserver for every non-delegated domain.
+
+        ``delegated_to`` maps each domain to the nameserver addresses it
+        is genuinely delegated to; those pairs are skipped ("excludes the
+        domains exactly delegated to the nameserver").
+
+        Returns (unique URs, responses seen, queries sent, timeouts).
+        """
+        pairs = [
+            (nameserver, target)
+            for nameserver in nameservers
+            for target in domains
+            if nameserver.address not in delegated_to.get(target.domain, set())
+        ]
+        self.rng.shuffle(pairs)  # ethics: randomized query order
+        collected: List[UndelegatedRecord] = []
+        responses = 0
+        queries = 0
+        timeouts = 0
+        last_query_at: Dict[str, float] = {}
+        for nameserver, target in pairs:
+            for qtype in self.query_types:
+                self._rate_limit(nameserver.address, last_query_at)
+                queries += 1
+                response = self._query(
+                    nameserver.address, target.domain, qtype
+                )
+                if response is None:
+                    timeouts += 1
+                    continue
+                responses += 1
+                if response.header.rcode != Rcode.NOERROR:
+                    continue
+                collected.extend(
+                    self._extract_urs(nameserver, target.domain, response)
+                )
+        return dedupe_urs(collected), responses, queries, timeouts
+
+    def _extract_urs(
+        self,
+        nameserver: NameserverTarget,
+        domain: Name,
+        response: Message,
+    ) -> List[UndelegatedRecord]:
+        records: List[UndelegatedRecord] = []
+        for answer in response.answers:
+            if answer.rrtype not in self.query_types:
+                continue
+            records.append(
+                UndelegatedRecord(
+                    domain=domain,
+                    nameserver_ip=nameserver.address,
+                    provider=nameserver.provider,
+                    rrtype=answer.rrtype,
+                    rdata_text=(
+                        answer.rdata.address
+                        if isinstance(answer.rdata, A)
+                        else answer.rdata.value
+                        if isinstance(answer.rdata, TXT)
+                        else answer.rdata.to_text()
+                    ),
+                    nameserver_name=nameserver.hostname,
+                    ttl=answer.ttl,
+                )
+            )
+        return records
+
+    # -- correct records -----------------------------------------------------
+
+    def collect_correct_records(
+        self,
+        domains: Sequence[DomainTarget],
+        open_resolver_ips: Sequence[str],
+        correct_db: CorrectRecordDatabase,
+    ) -> int:
+        """Resolve each domain's A and TXT through every open resolver.
+
+        Returns the number of successful responses folded into the
+        database.  Manipulated resolvers contribute noise — exactly the
+        imperfection the paper's vantage-point selection tolerates.
+        """
+        successes = 0
+        order = list(open_resolver_ips)
+        self.rng.shuffle(order)
+        for resolver_ip in order:
+            for target in domains:
+                for qtype in self.query_types:
+                    query = Message.make_query(
+                        target.domain, qtype, recursion_desired=True
+                    )
+                    try:
+                        response = self.network.query_dns_auto(
+                            self.scanner_ip, resolver_ip, query
+                        )
+                    except NetworkError:
+                        continue
+                    if response.header.rcode != Rcode.NOERROR:
+                        continue
+                    successes += 1
+                    for answer in response.answers:
+                        if isinstance(answer.rdata, A):
+                            correct_db.observe_a(
+                                target.domain, answer.rdata.address
+                            )
+                        elif isinstance(answer.rdata, TXT):
+                            correct_db.observe_txt(
+                                target.domain, answer.rdata.value
+                            )
+                        elif isinstance(answer.rdata, MX):
+                            correct_db.observe_mx(
+                                target.domain, answer.rdata.to_text()
+                            )
+        return successes
+
+    # -- protective records ------------------------------------------------------
+
+    def collect_protective_records(
+        self,
+        nameservers: Sequence[NameserverTarget],
+        probe_domain: Union[str, Name] = "urhunter-probe-owned.net",
+    ) -> Dict[str, ProtectiveFingerprint]:
+        """Learn each nameserver's protective-record fingerprint.
+
+        The probe domain is ours and hosted nowhere, so any answer a
+        server gives for it is synthesized protective data.
+        """
+        probe_domain = name(probe_domain)
+        fingerprints: Dict[str, ProtectiveFingerprint] = {}
+        for nameserver in nameservers:
+            fingerprint = ProtectiveFingerprint(
+                nameserver_ip=nameserver.address
+            )
+            for qtype in self.query_types:
+                response = self._query(
+                    nameserver.address, probe_domain, qtype
+                )
+                if response is None:
+                    continue
+                if response.header.rcode != Rcode.NOERROR:
+                    continue
+                for answer in response.answers:
+                    if isinstance(answer.rdata, A):
+                        fingerprint.records.add(
+                            (RRType.A, answer.rdata.address)
+                        )
+                    elif isinstance(answer.rdata, TXT):
+                        fingerprint.records.add(
+                            (RRType.TXT, answer.rdata.value)
+                        )
+            fingerprints[nameserver.address] = fingerprint
+        return fingerprints
+
+    # -- internals -----------------------------------------------------------
+
+    def _query(
+        self, server_ip: str, domain: Name, qtype: int
+    ) -> Optional[Message]:
+        query = Message.make_query(domain, qtype, recursion_desired=False)
+        try:
+            return self.network.query_dns_auto(self.scanner_ip, server_ip, query)
+        except NetworkError:
+            return None
+
+    def _rate_limit(
+        self, server_ip: str, last_query_at: Dict[str, float]
+    ) -> None:
+        if self.per_server_interval <= 0:
+            return
+        previous = last_query_at.get(server_ip)
+        now = self.network.now
+        if previous is not None and now - previous < self.per_server_interval:
+            self.network.tick(self.per_server_interval - (now - previous))
+        last_query_at[server_ip] = self.network.now
+
+
+def select_target_nameservers(
+    hosting_counts: Dict[str, int],
+    nameserver_info: Dict[str, Tuple[str, Optional[Name]]],
+    min_hosted: int = 50,
+) -> List[NameserverTarget]:
+    """§4.1's nameserver selection: servers hosting > ``min_hosted`` of the
+    top list.
+
+    ``hosting_counts`` maps nameserver address → number of top-list
+    domains delegated to it; ``nameserver_info`` maps address →
+    (provider, hostname).
+    """
+    selected = []
+    for address, count in sorted(hosting_counts.items()):
+        if count < min_hosted:
+            continue
+        provider, hostname = nameserver_info.get(address, ("unknown", None))
+        selected.append(
+            NameserverTarget(
+                address=address, provider=provider, hostname=hostname
+            )
+        )
+    return selected

@@ -1,0 +1,212 @@
+"""Correct-record database and the Appendix-B uniformity conditions.
+
+URHunter must not count a UR as abuse when it is really:
+
+* the domain's genuine data reached through a misconfigured recursive
+  nameserver, possibly geo-distributed (CDN), or
+* a leftover of a *past delegation* (the domain moved providers).
+
+The paper's insight (Appendix B): IP-level facts about a domain — its
+addresses, ASes, locations, TLS certificates — are uniform because one
+organisation operates them.  A UR whose facts are a subset of the
+domain's known-correct facts is a correct record; so is one found in six
+years of passive DNS.  An HTTP-keyword filter additionally excludes URs
+pointing at parked/redirect pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Union
+
+from ..dns.name import Name, name
+from ..dns.rdata import RRType
+from ..intel.ipinfo import IpInfoDatabase, PAGE_KEYWORDS, PageKind
+from ..intel.pdns import PassiveDnsStore
+from .records import UndelegatedRecord
+
+#: Names for the five Appendix-B conditions plus the HTTP filter, used in
+#: verdict reasons and in the ablation benchmarks.
+COND_IP = "ip-subset"
+COND_AS = "as-subset"
+COND_GEO = "geo-subset"
+COND_CERT = "cert-subset"
+COND_PDNS = "pdns-history"
+COND_HTTP = "http-keyword"
+ALL_CONDITIONS = frozenset(
+    {COND_IP, COND_AS, COND_GEO, COND_CERT, COND_PDNS, COND_HTTP}
+)
+
+
+@dataclass
+class DomainProfile:
+    """The known-correct facts for one domain."""
+
+    domain: Name
+    ips: Set[str] = field(default_factory=set)
+    asns: Set[int] = field(default_factory=set)
+    countries: Set[str] = field(default_factory=set)
+    cert_orgs: Set[str] = field(default_factory=set)
+    txt_values: Set[str] = field(default_factory=set)
+    mx_values: Set[str] = field(default_factory=set)
+
+    def merge_ip(self, address: str, info: IpInfoDatabase) -> None:
+        """Fold one correct A answer (and its metadata) into the profile."""
+        self.ips.add(address)
+        meta = info.lookup(address)
+        self.asns.add(meta.asn)
+        self.countries.add(meta.country)
+        if meta.cert_org is not None:
+            self.cert_orgs.add(meta.cert_org)
+
+
+class CorrectRecordDatabase:
+    """Per-domain profiles built from open resolvers and historical data.
+
+    §4.1(2): URHunter queries ~3K open resolvers worldwide for the A and
+    TXT records of every targeted domain and folds in the IP metadata of
+    every answer.
+    """
+
+    def __init__(self, ipinfo: IpInfoDatabase):
+        self.ipinfo = ipinfo
+        self._profiles: Dict[Name, DomainProfile] = {}
+
+    def profile(self, domain: Union[str, Name]) -> DomainProfile:
+        domain = name(domain)
+        existing = self._profiles.get(domain)
+        if existing is None:
+            existing = DomainProfile(domain=domain)
+            self._profiles[domain] = existing
+        return existing
+
+    def observe_a(self, domain: Union[str, Name], address: str) -> None:
+        self.profile(domain).merge_ip(address, self.ipinfo)
+
+    def observe_txt(self, domain: Union[str, Name], value: str) -> None:
+        self.profile(domain).txt_values.add(value)
+
+    def observe_mx(self, domain: Union[str, Name], value: str) -> None:
+        self.profile(domain).mx_values.add(value)
+
+    def has_profile(self, domain: Union[str, Name]) -> bool:
+        profile = self._profiles.get(name(domain))
+        return profile is not None and bool(
+            profile.ips or profile.txt_values
+        )
+
+    def domains(self) -> List[Name]:
+        return sorted(self._profiles)
+
+
+@dataclass(frozen=True)
+class CorrectnessVerdict:
+    """Why (or why not) a UR was excluded as a correct record."""
+
+    is_correct: bool
+    matched_condition: Optional[str] = None
+
+
+class UniformityChecker:
+    """Implements Appendix B over a correct-record database + passive DNS.
+
+    ``enabled_conditions`` supports the ablation study: removing
+    conditions widens the suspicious set (more false positives among
+    CDN-backed domains); the default enables everything, matching the
+    paper.
+    """
+
+    def __init__(
+        self,
+        database: CorrectRecordDatabase,
+        pdns: Optional[PassiveDnsStore] = None,
+        enabled_conditions: FrozenSet[str] = ALL_CONDITIONS,
+    ):
+        unknown = enabled_conditions - ALL_CONDITIONS
+        if unknown:
+            raise ValueError(f"unknown conditions: {sorted(unknown)}")
+        self.database = database
+        self.pdns = pdns
+        self.enabled = enabled_conditions
+
+    def check(
+        self, record: UndelegatedRecord, now: float = 0.0
+    ) -> CorrectnessVerdict:
+        """Evaluate every enabled condition against ``record``."""
+        if record.rrtype == RRType.A:
+            return self._check_a(record, now)
+        if record.rrtype == RRType.TXT:
+            return self._check_txt(record, now)
+        if record.rrtype == RRType.MX:
+            return self._check_mx(record, now)
+        return CorrectnessVerdict(is_correct=False)
+
+    # -- A records -------------------------------------------------------
+
+    def _check_a(
+        self, record: UndelegatedRecord, now: float
+    ) -> CorrectnessVerdict:
+        address = record.rdata_text
+        profile = self.database.profile(record.domain)
+        meta = self.database.ipinfo.lookup(address)
+
+        if COND_IP in self.enabled and profile.ips:
+            if address in profile.ips:
+                return CorrectnessVerdict(True, COND_IP)
+        if COND_AS in self.enabled and profile.asns:
+            if meta.asn in profile.asns and meta.asn != IpInfoDatabase.UNKNOWN_ASN:
+                return CorrectnessVerdict(True, COND_AS)
+        if COND_GEO in self.enabled and profile.countries:
+            # Plain subset semantics, faithful to Appendix B.  Geo is the
+            # weakest condition (an attacker can rent a server in the same
+            # country); the ablation benchmark quantifies this.
+            if meta.country in profile.countries:
+                return CorrectnessVerdict(True, COND_GEO)
+        if COND_CERT in self.enabled and profile.cert_orgs:
+            if meta.cert_org is not None and meta.cert_org in profile.cert_orgs:
+                return CorrectnessVerdict(True, COND_CERT)
+        if COND_PDNS in self.enabled and self.pdns is not None:
+            if self.pdns.record_in_history(
+                record.domain, RRType.A, address, now
+            ):
+                return CorrectnessVerdict(True, COND_PDNS)
+        if COND_HTTP in self.enabled:
+            page = meta.http
+            if page.kind in (PageKind.PARKED, PageKind.REDIRECT):
+                return CorrectnessVerdict(True, COND_HTTP)
+            for kind in (PageKind.PARKED, PageKind.REDIRECT):
+                if page.contains_keywords(PAGE_KEYWORDS[kind]):
+                    return CorrectnessVerdict(True, COND_HTTP)
+        return CorrectnessVerdict(False)
+
+    # -- TXT records ------------------------------------------------------
+
+    def _check_txt(
+        self, record: UndelegatedRecord, now: float
+    ) -> CorrectnessVerdict:
+        profile = self.database.profile(record.domain)
+        # §4.2: "URHunter excludes correct TXT records that exactly match
+        # the correct records in the database."
+        if record.rdata_text in profile.txt_values:
+            return CorrectnessVerdict(True, COND_IP)
+        if COND_PDNS in self.enabled and self.pdns is not None:
+            if self.pdns.record_in_history(
+                record.domain, RRType.TXT, record.rdata_text, now
+            ):
+                return CorrectnessVerdict(True, COND_PDNS)
+        return CorrectnessVerdict(False)
+
+    # -- MX records (future-work record type) ------------------------------
+
+    def _check_mx(
+        self, record: UndelegatedRecord, now: float
+    ) -> CorrectnessVerdict:
+        profile = self.database.profile(record.domain)
+        if record.rdata_text in profile.mx_values:
+            return CorrectnessVerdict(True, COND_IP)
+        if COND_PDNS in self.enabled and self.pdns is not None:
+            if self.pdns.record_in_history(
+                record.domain, RRType.MX, record.rdata_text, now
+            ):
+                return CorrectnessVerdict(True, COND_PDNS)
+        return CorrectnessVerdict(False)

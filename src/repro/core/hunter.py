@@ -1,0 +1,284 @@
+"""URHunter: the end-to-end measurement pipeline.
+
+Wires the three stages together exactly as §4 describes:
+
+1. :class:`~repro.core.collector.ResponseCollector` gathers URs, correct
+   records (open resolvers + passive DNS) and protective fingerprints;
+2. :class:`~repro.core.suspicion.SuspicionFilter` excludes correct and
+   protective records;
+3. :class:`~repro.core.analysis.MaliciousBehaviorAnalyzer` fuses threat
+   intel and sandbox IDS evidence into final verdicts.
+
+Run :meth:`URHunter.run` to get a :class:`~repro.core.report.MeasurementReport`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..dns.name import Name
+from ..intel.aggregator import ThreatIntelAggregator
+from ..intel.ipinfo import IpInfoDatabase
+from ..intel.pdns import PassiveDnsStore
+from ..net.network import SimulatedInternet
+from ..sandbox.ids import Severity
+from ..sandbox.sandbox import SandboxReport
+from .analysis import MaliciousBehaviorAnalyzer
+from .collector import (
+    DEFAULT_QUERY_TYPES,
+    DomainTarget,
+    NameserverTarget,
+    ResponseCollector,
+)
+from .correctness import (
+    ALL_CONDITIONS,
+    CorrectRecordDatabase,
+    UniformityChecker,
+)
+from .records import ClassifiedUR, UndelegatedRecord
+from .report import MeasurementReport
+from .suspicion import SuspicionFilter
+
+
+@dataclass
+class HunterConfig:
+    """Tunables of the pipeline (defaults follow the paper)."""
+
+    #: Appendix-B conditions in force (ablation hook)
+    enabled_conditions: FrozenSet[str] = ALL_CONDITIONS
+    #: minimum IDS severity accepted as evidence (ablation hook)
+    min_severity: Severity = Severity.MEDIUM
+    #: evidence-source switches (ablation hooks)
+    use_intel: bool = True
+    use_ids: bool = True
+    #: the §4.3 A/TXT co-hosting join (ablation hook)
+    use_cohost_join: bool = True
+    #: probe domain owned by the measurer, hosted nowhere
+    probe_domain: str = "urhunter-probe-owned.net"
+    #: source address of the scanner
+    scanner_ip: str = "203.0.113.53"
+    #: virtual-time spacing between queries to one server (ethics)
+    per_server_interval: float = 0.0
+    #: RNG seed for query-order randomization
+    seed: int = 1
+    #: record types to measure (add RRType.MX for the future-work sweep)
+    query_types: Tuple[int, ...] = DEFAULT_QUERY_TYPES
+    #: expand the target set with subdomains recovered from passive DNS
+    #: (the paper's §6 future-work direction)
+    expand_pdns_subdomains: bool = False
+
+
+class URHunter:
+    """The measurement framework (paper §4)."""
+
+    def __init__(
+        self,
+        network: SimulatedInternet,
+        nameservers: Sequence[NameserverTarget],
+        domains: Sequence[DomainTarget],
+        delegated_to: Dict[Name, Set[str]],
+        open_resolver_ips: Sequence[str],
+        ipinfo: IpInfoDatabase,
+        intel: ThreatIntelAggregator,
+        pdns: Optional[PassiveDnsStore] = None,
+        sandbox_reports: Sequence[SandboxReport] = (),
+        config: Optional[HunterConfig] = None,
+    ):
+        self.network = network
+        self.nameservers = list(nameservers)
+        self.domains = list(domains)
+        self.delegated_to = delegated_to
+        self.open_resolver_ips = list(open_resolver_ips)
+        self.ipinfo = ipinfo
+        self.intel = intel
+        self.pdns = pdns
+        self.sandbox_reports = list(sandbox_reports)
+        self.config = config or HunterConfig()
+        self.collector = ResponseCollector(
+            network,
+            scanner_ip=self.config.scanner_ip,
+            rng=random.Random(self.config.seed),
+            per_server_interval=self.config.per_server_interval,
+            query_types=self.config.query_types,
+        )
+        # Populated by run(); kept for inspection and tests.
+        self.correct_db: Optional[CorrectRecordDatabase] = None
+        self.last_filter: Optional[SuspicionFilter] = None
+
+    @classmethod
+    def from_world(
+        cls, world: "object", config: Optional[HunterConfig] = None
+    ) -> "URHunter":
+        """Build a hunter from a :class:`repro.scenario.world.World`.
+
+        Duck-typed so :mod:`repro.core` stays independent of
+        :mod:`repro.scenario`.
+        """
+        return cls(
+            network=world.network,  # type: ignore[attr-defined]
+            nameservers=world.nameserver_targets,  # type: ignore[attr-defined]
+            domains=world.domain_targets,  # type: ignore[attr-defined]
+            delegated_to=world.delegated_to,  # type: ignore[attr-defined]
+            open_resolver_ips=world.open_resolver_ips,  # type: ignore[attr-defined]
+            ipinfo=world.ipinfo,  # type: ignore[attr-defined]
+            intel=world.intel,  # type: ignore[attr-defined]
+            pdns=world.pdns,  # type: ignore[attr-defined]
+            sandbox_reports=world.sandbox_reports,  # type: ignore[attr-defined]
+            config=config,
+        )
+
+    # -- pipeline --------------------------------------------------------
+
+    def run(self, validate: bool = True) -> MeasurementReport:
+        """Execute all three stages and build the report.
+
+        With ``validate`` the §4.2 zero-false-negative check also runs
+        (delegated records of the target domains through the exclusion
+        stage).
+        """
+        domains = list(self.domains)
+        if self.config.expand_pdns_subdomains and self.pdns is not None:
+            domains.extend(
+                recover_pdns_subdomains(self.pdns, domains, self.network.now)
+            )
+        # Stage 1a: protective fingerprints from the probe domain.
+        protective = self.collector.collect_protective_records(
+            self.nameservers, self.config.probe_domain
+        )
+        # Stage 1b: correct records via open resolvers.
+        correct_db = CorrectRecordDatabase(self.ipinfo)
+        self.collector.collect_correct_records(
+            domains, self.open_resolver_ips, correct_db
+        )
+        self.correct_db = correct_db
+        # Stage 1c: the UR scan itself.
+        urs, responses, queries, timeouts = self.collector.collect_urs(
+            self.nameservers, domains, self.delegated_to
+        )
+        # Stage 2: exclusion.
+        checker = UniformityChecker(
+            correct_db,
+            pdns=self.pdns,
+            enabled_conditions=self.config.enabled_conditions,
+        )
+        suspicion = SuspicionFilter(checker, protective)
+        self.last_filter = suspicion
+        outcome = suspicion.classify(urs, now=self.network.now)
+        # Stage 3: malicious behaviour analysis on the suspicious set.
+        analyzer = MaliciousBehaviorAnalyzer(
+            self.intel,
+            self.sandbox_reports,
+            min_severity=self.config.min_severity,
+            use_intel=self.config.use_intel,
+            use_ids=self.config.use_ids,
+            use_cohost_join=self.config.use_cohost_join,
+        )
+        refined = analyzer.analyze(outcome.suspicious)
+        classified: List[ClassifiedUR] = [
+            entry
+            for entry in outcome.classified
+            if not entry.is_suspicious
+        ]
+        classified.extend(refined.classified)
+
+        fn_rate: Optional[float] = None
+        if validate:
+            fn_rate = suspicion.false_negative_rate(
+                self._delegated_records_sample(), now=self.network.now
+            )
+        return MeasurementReport(
+            classified=classified,
+            ip_verdicts=refined.ip_verdicts,
+            queries_sent=queries,
+            responses_seen=responses,
+            timeouts=timeouts,
+            txt_without_ip=refined.txt_without_ip,
+            false_negative_rate=fn_rate,
+        )
+
+    # -- validation helper --------------------------------------------------
+
+    def _delegated_records_sample(self) -> List[UndelegatedRecord]:
+        """§4.2 validation input: the *delegated* records of the targets,
+        packaged in UR form so they can ride the same exclusion stage."""
+        from ..dns.rdata import A, TXT, RRType
+        from ..dns.message import Message, Rcode
+        from ..net.network import NetworkError
+
+        samples: List[UndelegatedRecord] = []
+        nameserver_by_ip = {
+            target.address: target for target in self.nameservers
+        }
+        for target in self.domains:
+            for address in self.delegated_to.get(target.domain, set()):
+                info = nameserver_by_ip.get(address)
+                provider = info.provider if info is not None else "unknown"
+                for qtype in (RRType.A, RRType.TXT):
+                    query = Message.make_query(
+                        target.domain, qtype, recursion_desired=False
+                    )
+                    try:
+                        response = self.network.query_dns_auto(
+                            self.config.scanner_ip, address, query
+                        )
+                    except NetworkError:
+                        continue
+                    if response.header.rcode != Rcode.NOERROR:
+                        continue
+                    for answer in response.answers:
+                        if isinstance(answer.rdata, A):
+                            rdata_text: Optional[str] = answer.rdata.address
+                        elif isinstance(answer.rdata, TXT):
+                            rdata_text = answer.rdata.value
+                        else:
+                            rdata_text = None
+                        if rdata_text is None:
+                            continue
+                        samples.append(
+                            UndelegatedRecord(
+                                domain=target.domain,
+                                nameserver_ip=address,
+                                provider=provider,
+                                rrtype=answer.rrtype,
+                                rdata_text=rdata_text,
+                            )
+                        )
+        return samples
+
+
+def recover_pdns_subdomains(
+    pdns: PassiveDnsStore,
+    targets: Sequence[DomainTarget],
+    now: float,
+) -> List[DomainTarget]:
+    """Recover legitimate subdomains of the targets from passive DNS.
+
+    The paper's future work: "we can recover legitimate subdomains from
+    PDNS data and measure whether they appear in URs."  Any historically
+    observed name strictly under a target domain joins the sweep with its
+    parent's rank.
+    """
+    known = {target.domain for target in targets}
+    rank_of = {target.domain: target.rank for target in targets}
+    recovered: List[DomainTarget] = []
+    for observed in pdns.domains():
+        if observed in known:
+            continue
+        parent = next(
+            (
+                target.domain
+                for target in targets
+                if observed.is_proper_subdomain_of(target.domain)
+            ),
+            None,
+        )
+        if parent is None:
+            continue
+        recovered.append(
+            DomainTarget(domain=observed, rank=rank_of[parent])
+        )
+        known.add(observed)
+    recovered.sort(key=lambda target: (target.rank, target.domain))
+    return recovered

@@ -1,0 +1,129 @@
+"""Stage 2 — determining suspicious records (§4.2).
+
+Takes the raw UR collection and labels each record:
+
+* **protective** when it matches the nameserver's protective fingerprint
+  (exact match on the data learned from the probe domain);
+* **correct** when any Appendix-B uniformity condition fires (or, for
+  TXT, an exact match against the correct database / passive DNS);
+* otherwise it stays **suspicious** (later refined to malicious/unknown
+  by stage 3).
+
+TXT records are additionally classified into semantic categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..dns.rdata import RRType
+from .collector import ProtectiveFingerprint
+from .correctness import UniformityChecker
+from .records import ClassifiedUR, URCategory, UndelegatedRecord
+from .txt import classify_txt
+
+
+@dataclass
+class SuspicionOutcome:
+    """Stage-2 output: every UR labeled, suspicious ones surfaced."""
+
+    classified: List[ClassifiedUR]
+
+    @property
+    def suspicious(self) -> List[ClassifiedUR]:
+        return [entry for entry in self.classified if entry.is_suspicious]
+
+    @property
+    def correct(self) -> List[ClassifiedUR]:
+        return [
+            entry
+            for entry in self.classified
+            if entry.category is URCategory.CORRECT
+        ]
+
+    @property
+    def protective(self) -> List[ClassifiedUR]:
+        return [
+            entry
+            for entry in self.classified
+            if entry.category is URCategory.PROTECTIVE
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self.classified:
+            out[entry.category.value] = out.get(entry.category.value, 0) + 1
+        return out
+
+
+class SuspicionFilter:
+    """Applies the exclusion pipeline to collected URs."""
+
+    def __init__(
+        self,
+        checker: UniformityChecker,
+        protective: Dict[str, ProtectiveFingerprint],
+    ):
+        self.checker = checker
+        self.protective = protective
+
+    def classify(
+        self, records: Iterable[UndelegatedRecord], now: float = 0.0
+    ) -> SuspicionOutcome:
+        """Label every UR protective / correct / unknown (=suspicious)."""
+        classified: List[ClassifiedUR] = []
+        for record in records:
+            classified.append(self._classify_one(record, now))
+        return SuspicionOutcome(classified=classified)
+
+    def _classify_one(
+        self, record: UndelegatedRecord, now: float
+    ) -> ClassifiedUR:
+        txt_category: Optional[str] = None
+        if record.rrtype == RRType.TXT:
+            txt_category = classify_txt(record.rdata_text)
+
+        fingerprint = self.protective.get(record.nameserver_ip)
+        if fingerprint is not None and fingerprint.matches(
+            record.rrtype, record.rdata_text
+        ):
+            return ClassifiedUR(
+                record=record,
+                category=URCategory.PROTECTIVE,
+                reasons=("protective-fingerprint",),
+                txt_category=txt_category,
+            )
+
+        verdict = self.checker.check(record, now)
+        if verdict.is_correct:
+            reason = verdict.matched_condition or "uniformity"
+            return ClassifiedUR(
+                record=record,
+                category=URCategory.CORRECT,
+                reasons=(reason,),
+                txt_category=txt_category,
+            )
+
+        return ClassifiedUR(
+            record=record,
+            category=URCategory.UNKNOWN,
+            reasons=("survived-exclusion",),
+            txt_category=txt_category,
+        )
+
+    def false_negative_rate(
+        self,
+        delegated_records: Iterable[UndelegatedRecord],
+        now: float = 0.0,
+    ) -> float:
+        """§4.2's validation: feed *delegated* records through the same
+        exclusion; any labeled suspicious is a false negative.
+
+        Returns the FN rate in [0, 1] (the paper measured 0.0).
+        """
+        outcome = self.classify(delegated_records, now)
+        total = len(outcome.classified)
+        if total == 0:
+            return 0.0
+        return len(outcome.suspicious) / total

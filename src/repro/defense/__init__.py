@@ -1,0 +1,27 @@
+"""Operator-side defenses and their evaluation (paper §3 and §6)."""
+
+from .evaluation import (
+    DefenseScore,
+    evaluate_defenses,
+    score_defense,
+    synthesize_benign_direct_flows,
+    ur_retrieval_flows,
+)
+from .monitor import (
+    DEFAULT_RESOLVER_ALLOWLIST,
+    Detection,
+    DirectResolutionMonitor,
+    ReputationDetector,
+)
+
+__all__ = [
+    "DEFAULT_RESOLVER_ALLOWLIST",
+    "DefenseScore",
+    "Detection",
+    "DirectResolutionMonitor",
+    "ReputationDetector",
+    "evaluate_defenses",
+    "score_defense",
+    "synthesize_benign_direct_flows",
+    "ur_retrieval_flows",
+]

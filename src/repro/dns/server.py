@@ -1,0 +1,222 @@
+"""Authoritative DNS servers.
+
+An :class:`AuthoritativeServer` hosts zones and answers queries with the
+behaviours that matter to the paper's measurement:
+
+* normal authoritative answers for hosted zones (including zones that were
+  never delegated — the mechanism behind undelegated records);
+* configurable behaviour for *unhosted* names: ``REFUSED`` (the common
+  default), provider-installed **protective records** (e.g. ClouDNS points
+  unknown domains at a warning site), or **recursive fallback** (the
+  misconfigured-resolver case the paper must exclude);
+* delegation referrals with glue for in-zone cuts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .message import Message, Rcode, ResourceRecord
+from .name import Name, name
+from .rdata import NS, RRType, Rdata
+from .zone import LookupStatus, Zone
+
+MAX_CNAME_CHAIN = 8
+
+# Resolvers are imported lazily to avoid a module cycle
+# (resolver -> server for tests, server -> resolver for fallback typing).
+ResolveCallable = Callable[[Name, int], Optional[Message]]
+
+
+class UnhostedPolicy(enum.Enum):
+    """What the server does for names it hosts no zone for."""
+
+    REFUSED = "refused"
+    PROTECTIVE = "protective"
+    RECURSIVE = "recursive"
+
+
+class AuthoritativeServer:
+    """A nameserver process serving a set of zones.
+
+    One server object may be registered at several IP addresses (anycast /
+    multi-homed nameservers, common among hosting providers).
+    """
+
+    def __init__(
+        self,
+        hostname: Union[str, Name],
+        unhosted_policy: UnhostedPolicy = UnhostedPolicy.REFUSED,
+        protective_records: Optional[List[Tuple[int, Rdata]]] = None,
+        recursive_fallback: Optional[ResolveCallable] = None,
+    ):
+        self.hostname = name(hostname)
+        self.unhosted_policy = unhosted_policy
+        #: protective RDATA by rrtype, synthesized at the queried owner name
+        self.protective_records = list(protective_records or [])
+        self.recursive_fallback = recursive_fallback
+        self._zones: Dict[Name, Zone] = {}
+        self.addresses: List[str] = []
+        #: counters for tests/observability
+        self.query_count = 0
+
+    # -- zone management ----------------------------------------------------
+
+    def load_zone(self, zone: Zone) -> None:
+        """Serve ``zone``; replaces any existing zone at the same origin."""
+        self._zones[zone.origin] = zone
+
+    def unload_zone(self, origin: Union[str, Name]) -> bool:
+        """Stop serving the zone at ``origin``; True when it existed."""
+        return self._zones.pop(name(origin), None) is not None
+
+    def zone_for(self, qname: Union[str, Name]) -> Optional[Zone]:
+        """The closest enclosing hosted zone for ``qname``, if any."""
+        qname = name(qname)
+        best: Optional[Zone] = None
+        for origin, zone in self._zones.items():
+            if qname.is_subdomain_of(origin):
+                if best is None or len(origin) > len(best.origin):
+                    best = zone
+        return best
+
+    def hosts_zone(self, origin: Union[str, Name]) -> bool:
+        return name(origin) in self._zones
+
+    def zone_at(self, origin: Union[str, Name]) -> Optional[Zone]:
+        """The zone loaded exactly at ``origin``, if any."""
+        return self._zones.get(name(origin))
+
+    @property
+    def zones(self) -> List[Zone]:
+        return list(self._zones.values())
+
+    # -- DnsService protocol -------------------------------------------------
+
+    def handle_dns_query(
+        self, query: Message, src_ip: str, network: object
+    ) -> Optional[Message]:
+        """Answer one query.  Implements :class:`~repro.net.network.DnsService`."""
+        self.query_count += 1
+        if not query.questions:
+            return query.make_response(rcode=Rcode.FORMERR)
+        question = query.questions[0]
+        zone = self.zone_for(question.qname)
+        if zone is None:
+            return self._answer_unhosted(query)
+        return self._answer_from_zone(query, zone)
+
+    # -- internals -----------------------------------------------------------
+
+    def _answer_unhosted(self, query: Message) -> Message:
+        question = query.questions[0]
+        if (
+            self.unhosted_policy is UnhostedPolicy.PROTECTIVE
+            and self.protective_records
+        ):
+            response = query.make_response(
+                rcode=Rcode.NOERROR, authoritative=True
+            )
+            for rrtype, rdata in self.protective_records:
+                if rrtype == question.qtype or question.qtype == RRType.ANY:
+                    response.answers.append(
+                        ResourceRecord(question.qname, rdata, ttl=300)
+                    )
+            if not response.answers:
+                # Protective data exists but not for this type: NODATA.
+                return response
+            return response
+        if (
+            self.unhosted_policy is UnhostedPolicy.RECURSIVE
+            and self.recursive_fallback is not None
+        ):
+            resolved = self.recursive_fallback(question.qname, question.qtype)
+            if resolved is None:
+                return query.make_response(rcode=Rcode.SERVFAIL)
+            response = query.make_response(
+                rcode=resolved.header.rcode, recursion_available=True
+            )
+            response.answers = list(resolved.answers)
+            return response
+        return query.make_response(rcode=Rcode.REFUSED)
+
+    def _answer_from_zone(self, query: Message, zone: Zone) -> Message:
+        question = query.questions[0]
+        response = query.make_response(
+            rcode=Rcode.NOERROR, authoritative=True
+        )
+        qname = question.qname
+        chain = 0
+        while True:
+            result = zone.lookup(qname, question.qtype)
+            if result.status is LookupStatus.SUCCESS:
+                response.answers.extend(result.records)
+                return response
+            if result.status is LookupStatus.CNAME:
+                response.answers.extend(result.records)
+                chain += 1
+                if chain > MAX_CNAME_CHAIN:
+                    return query.make_response(rcode=Rcode.SERVFAIL)
+                assert result.cname_target is not None
+                if not result.cname_target.is_subdomain_of(zone.origin):
+                    # Out-of-zone target: the resolver must chase it.
+                    return response
+                qname = result.cname_target
+                continue
+            if result.status is LookupStatus.DELEGATION:
+                referral = query.make_response(rcode=Rcode.NOERROR)
+                referral.answers = list(response.answers)
+                referral.authorities.extend(result.records)
+                self._add_glue(referral, zone, result.records)
+                return referral
+            if result.status is LookupStatus.NODATA:
+                self._add_soa(response, zone)
+                return response
+            # NXDOMAIN — but a CNAME already answered means NOERROR.
+            if response.answers:
+                return response
+            nx = query.make_response(rcode=Rcode.NXDOMAIN, authoritative=True)
+            self._add_soa(nx, zone)
+            return nx
+
+    def _add_soa(self, response: Message, zone: Zone) -> None:
+        for record in zone.rrset(zone.origin, RRType.SOA):
+            response.authorities.append(record)
+
+    def _add_glue(
+        self,
+        response: Message,
+        zone: Zone,
+        ns_records: Tuple[ResourceRecord, ...],
+    ) -> None:
+        for ns_record in ns_records:
+            rdata = ns_record.rdata
+            if not isinstance(rdata, NS):
+                continue
+            if not rdata.target.is_subdomain_of(zone.origin):
+                continue
+            for glue in zone.rrset(rdata.target, RRType.A):
+                response.additionals.append(glue)
+
+
+def make_protective_server(
+    hostname: Union[str, Name],
+    warning_ip: str,
+    warning_text: str = "this domain is not hosted here",
+) -> AuthoritativeServer:
+    """A server that answers unhosted names with protective records.
+
+    Mirrors the ClouDNS-style behaviour the paper's stage 1 must learn and
+    exclude: an A record pointing at a warning site plus an explanatory TXT.
+    """
+    from .rdata import A, TXT
+
+    return AuthoritativeServer(
+        hostname,
+        unhosted_policy=UnhostedPolicy.PROTECTIVE,
+        protective_records=[
+            (RRType.A, A(warning_ip)),
+            (RRType.TXT, TXT.from_value(warning_text)),
+        ],
+    )

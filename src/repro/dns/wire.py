@@ -1,0 +1,296 @@
+"""RFC 1035 wire-format encoding and decoding with name compression.
+
+The simulated network serializes every DNS message through this module, so
+malformed-message handling, compression pointers, and section counts behave
+as they would on a real wire.  Compression targets names in owner fields and
+in the name-bearing RDATA types that RFC 3597 classifies as "well-known"
+(NS, CNAME, PTR, SOA, MX); TXT and address records are opaque.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from .message import Header, Message, Question, ResourceRecord
+from .name import MAX_LABEL_LENGTH, Name, NameError_
+from .rdata import (
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    RDATA_CLASSES,
+    SOA,
+    RdataError,
+    Rdata,
+    RRType,
+)
+
+MAX_POINTER_OFFSET = 0x3FFF
+#: Types whose RDATA contains a domain name eligible for compression.
+_NAME_BEARING_TYPES = frozenset(
+    {RRType.NS, RRType.CNAME, RRType.PTR, RRType.SOA, RRType.MX}
+)
+
+
+class WireError(ValueError):
+    """Raised when a message cannot be encoded or decoded."""
+
+
+class _Encoder:
+    """Accumulates wire bytes and tracks compression offsets."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self._offsets: Dict[Tuple[str, ...], int] = {}
+
+    def write(self, data: bytes) -> None:
+        self.buffer.extend(data)
+
+    def write_u16(self, value: int) -> None:
+        self.buffer.extend(struct.pack("!H", value))
+
+    def write_u32(self, value: int) -> None:
+        self.buffer.extend(struct.pack("!I", value))
+
+    def write_name(self, target: Name, compress: bool = True) -> None:
+        """Write a possibly-compressed domain name."""
+        labels = tuple(label.lower() for label in target.labels)
+        index = 0
+        while index < len(labels):
+            suffix = labels[index:]
+            known = self._offsets.get(suffix) if compress else None
+            if known is not None:
+                self.write_u16(0xC000 | known)
+                return
+            if compress and len(self.buffer) <= MAX_POINTER_OFFSET:
+                self._offsets[suffix] = len(self.buffer)
+            raw = target.labels[index].encode("ascii")
+            self.buffer.append(len(raw))
+            self.buffer.extend(raw)
+            index += 1
+        self.buffer.append(0)
+
+
+class _Decoder:
+    """Reads wire bytes, following compression pointers."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def read(self, count: int) -> bytes:
+        if self.remaining() < count:
+            raise WireError(
+                f"truncated message: wanted {count} bytes, "
+                f"have {self.remaining()}"
+            )
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self.read(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self.read(4))[0]
+
+    def read_name(self) -> Name:
+        labels, next_offset = self._read_name_at(self.offset)
+        self.offset = next_offset
+        try:
+            return Name(labels)
+        except NameError_ as exc:
+            raise WireError(f"invalid name on the wire: {exc}") from exc
+
+    def _read_name_at(self, offset: int) -> Tuple[List[str], int]:
+        labels: List[str] = []
+        jumps = 0
+        end_offset = -1
+        while True:
+            if offset >= len(self.data):
+                raise WireError("name runs past end of message")
+            length = self.data[offset]
+            if length & 0xC0 == 0xC0:
+                if offset + 1 >= len(self.data):
+                    raise WireError("truncated compression pointer")
+                pointer = ((length & 0x3F) << 8) | self.data[offset + 1]
+                if end_offset < 0:
+                    end_offset = offset + 2
+                if pointer >= offset:
+                    raise WireError("forward compression pointer")
+                offset = pointer
+                jumps += 1
+                if jumps > 128:
+                    raise WireError("compression pointer loop")
+                continue
+            if length & 0xC0:
+                raise WireError(f"reserved label type {length >> 6:#x}")
+            if length > MAX_LABEL_LENGTH:
+                raise WireError(f"label length {length} exceeds 63")
+            offset += 1
+            if length == 0:
+                break
+            if offset + length > len(self.data):
+                raise WireError("label runs past end of message")
+            try:
+                labels.append(
+                    self.data[offset : offset + length].decode(
+                        "ascii", errors="strict"
+                    )
+                )
+            except UnicodeDecodeError as exc:
+                raise WireError(
+                    f"non-ASCII label bytes at offset {offset}"
+                ) from exc
+            offset += length
+        return labels, end_offset if end_offset >= 0 else offset
+
+
+def _encode_rdata(encoder: _Encoder, record: ResourceRecord) -> None:
+    """Write RDLENGTH + RDATA, compressing embedded names where allowed."""
+    length_position = len(encoder.buffer)
+    encoder.write_u16(0)  # placeholder for RDLENGTH
+    start = len(encoder.buffer)
+    rdata = record.rdata
+    if isinstance(rdata, (NS, CNAME, PTR)):
+        encoder.write_name(rdata.target)
+    elif isinstance(rdata, MX):
+        encoder.write_u16(rdata.preference)
+        encoder.write_name(rdata.exchange)
+    elif isinstance(rdata, SOA):
+        encoder.write_name(rdata.mname)
+        encoder.write_name(rdata.rname)
+        encoder.write_u32(rdata.serial)
+        encoder.write_u32(rdata.refresh)
+        encoder.write_u32(rdata.retry)
+        encoder.write_u32(rdata.expire)
+        encoder.write_u32(rdata.minimum)
+    else:
+        encoder.write(rdata.to_wire())
+    rdlength = len(encoder.buffer) - start
+    if rdlength > 0xFFFF:
+        raise WireError(f"RDATA too long: {rdlength}")
+    struct.pack_into("!H", encoder.buffer, length_position, rdlength)
+
+
+def _decode_rdata(decoder: _Decoder, rrtype: int, rdlength: int) -> Rdata:
+    """Read RDATA, decompressing embedded names for name-bearing types."""
+    end = decoder.offset + rdlength
+    if end > len(decoder.data):
+        raise WireError("RDATA runs past end of message")
+    if rrtype in _NAME_BEARING_TYPES:
+        if rrtype == RRType.MX:
+            preference = decoder.read_u16()
+            exchange = decoder.read_name()
+            rdata: Rdata = MX(preference, exchange)
+        elif rrtype == RRType.SOA:
+            mname = decoder.read_name()
+            rname = decoder.read_name()
+            serial = decoder.read_u32()
+            refresh = decoder.read_u32()
+            retry = decoder.read_u32()
+            expire = decoder.read_u32()
+            minimum = decoder.read_u32()
+            rdata = SOA(mname, rname, serial, refresh, retry, expire, minimum)
+        else:
+            target = decoder.read_name()
+            cls = RDATA_CLASSES[rrtype]
+            rdata = cls(target)  # type: ignore[call-arg]
+        if decoder.offset != end:
+            raise WireError(
+                f"RDATA length mismatch for {RRType.to_text(rrtype)}"
+            )
+        return rdata
+    raw = decoder.read(rdlength)
+    cls = RDATA_CLASSES.get(rrtype)
+    if cls is None:
+        raise WireError(f"unsupported RR type {RRType.to_text(rrtype)}")
+    try:
+        return cls.from_wire(raw)
+    except RdataError as exc:
+        raise WireError(str(exc)) from exc
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize a :class:`Message` to RFC 1035 wire format."""
+    encoder = _Encoder()
+    encoder.write_u16(message.header.message_id)
+    encoder.write_u16(message.header.flags_word())
+    encoder.write_u16(len(message.questions))
+    encoder.write_u16(len(message.answers))
+    encoder.write_u16(len(message.authorities))
+    encoder.write_u16(len(message.additionals))
+    for question in message.questions:
+        encoder.write_name(question.qname)
+        encoder.write_u16(question.qtype)
+        encoder.write_u16(question.qclass)
+    for record in (
+        *message.answers,
+        *message.authorities,
+        *message.additionals,
+    ):
+        encoder.write_name(record.owner)
+        encoder.write_u16(record.rrtype)
+        encoder.write_u16(record.rrclass)
+        encoder.write_u32(record.ttl)
+        _encode_rdata(encoder, record)
+    return bytes(encoder.buffer)
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse RFC 1035 wire bytes into a :class:`Message`.
+
+    Raises :class:`WireError` for any malformation: truncation, bad
+    pointers, inconsistent RDLENGTH, unknown types.
+    """
+    decoder = _Decoder(data)
+    if decoder.remaining() < 12:
+        raise WireError(f"message shorter than header: {len(data)} bytes")
+    message_id = decoder.read_u16()
+    flags = decoder.read_u16()
+    qdcount = decoder.read_u16()
+    ancount = decoder.read_u16()
+    nscount = decoder.read_u16()
+    arcount = decoder.read_u16()
+    header = Header.from_flags_word(message_id, flags)
+
+    questions: List[Question] = []
+    for _ in range(qdcount):
+        qname = decoder.read_name()
+        qtype = decoder.read_u16()
+        qclass = decoder.read_u16()
+        questions.append(Question(qname, qtype, qclass))
+
+    def read_records(count: int) -> List[ResourceRecord]:
+        records: List[ResourceRecord] = []
+        for _ in range(count):
+            owner = decoder.read_name()
+            rrtype = decoder.read_u16()
+            rrclass = decoder.read_u16()
+            ttl = decoder.read_u32()
+            rdlength = decoder.read_u16()
+            rdata = _decode_rdata(decoder, rrtype, rdlength)
+            records.append(ResourceRecord(owner, rdata, ttl, rrclass))
+        return records
+
+    answers = read_records(ancount)
+    authorities = read_records(nscount)
+    additionals = read_records(arcount)
+    if decoder.remaining():
+        raise WireError(f"{decoder.remaining()} trailing bytes after message")
+    return Message(
+        header=header,
+        questions=questions,
+        answers=answers,
+        authorities=authorities,
+        additionals=additionals,
+    )
+
+
+def roundtrip(message: Message) -> Message:
+    """Encode then decode; used by the transport and by tests."""
+    return decode_message(encode_message(message))

@@ -1,0 +1,159 @@
+"""Zone-file serialization: render and parse RFC 1035-style master files.
+
+Provider portals import/export zone files; having a real parser also
+makes scenario fixtures and test data readable.  Supported syntax is the
+practical subset: ``$ORIGIN`` and ``$TTL`` directives, relative and
+absolute owner names, ``@`` for the origin, per-record TTLs, the IN
+class, comments, and the RDATA types in :mod:`repro.dns.rdata`.
+Multi-line parentheses are not supported (write records on one line).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from .name import Name, name
+from .rdata import RRType, RdataError, rdata_from_text
+from .zone import Zone
+
+
+class ZoneFileError(ValueError):
+    """Raised for unparseable zone-file content."""
+
+
+def render_zone(zone: Zone, include_directives: bool = True) -> str:
+    """Serialize a zone to master-file text (records in canonical order)."""
+    lines: List[str] = []
+    if include_directives:
+        lines.append(f"$ORIGIN {zone.origin.to_text(trailing_dot=True)}")
+    records = sorted(
+        zone.records(),
+        key=lambda record: (record.owner, record.rrtype, record.rdata.to_text()),
+    )
+    for record in records:
+        lines.append(
+            f"{record.owner.to_text(trailing_dot=True)} {record.ttl} IN "
+            f"{RRType.to_text(record.rrtype)} {record.rdata.to_text()}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_zone(
+    text: str, origin: Optional[Union[str, Name]] = None
+) -> Zone:
+    """Parse master-file text into a :class:`Zone`.
+
+    ``origin`` seeds the initial ``$ORIGIN``; a ``$ORIGIN`` directive in
+    the file overrides it.  Raises :class:`ZoneFileError` with the line
+    number on any malformed line.
+    """
+    current_origin: Optional[Name] = name(origin) if origin else None
+    default_ttl = 300
+    parsed: List[Tuple[Name, int, int, str]] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("$"):
+            current_origin, default_ttl = _apply_directive(
+                line, current_origin, default_ttl, line_number
+            )
+            continue
+        if current_origin is None:
+            raise ZoneFileError(
+                f"line {line_number}: record before any $ORIGIN"
+            )
+        owner, ttl, rrtype, rdata_text = _parse_record_line(
+            line, current_origin, default_ttl, line_number
+        )
+        parsed.append((owner, ttl, rrtype, rdata_text))
+    if current_origin is None:
+        raise ZoneFileError("zone file defines no origin")
+    zone = Zone(current_origin)
+    for owner, ttl, rrtype, rdata_text in parsed:
+        try:
+            zone.add(owner, rdata_from_text(rrtype, rdata_text), ttl)
+        except (RdataError, ValueError) as exc:
+            raise ZoneFileError(f"bad record at {owner}: {exc}") from exc
+    return zone
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ``;`` comment, respecting quoted strings."""
+    out: List[str] = []
+    in_quotes = False
+    for char in line:
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == ";" and not in_quotes:
+            break
+        out.append(char)
+    return "".join(out)
+
+
+def _apply_directive(
+    line: str,
+    current_origin: Optional[Name],
+    default_ttl: int,
+    line_number: int,
+) -> Tuple[Optional[Name], int]:
+    parts = line.split()
+    directive = parts[0].upper()
+    if directive == "$ORIGIN":
+        if len(parts) != 2:
+            raise ZoneFileError(f"line {line_number}: bad $ORIGIN")
+        return name(parts[1]), default_ttl
+    if directive == "$TTL":
+        if len(parts) != 2 or not parts[1].isdigit():
+            raise ZoneFileError(f"line {line_number}: bad $TTL")
+        return current_origin, int(parts[1])
+    raise ZoneFileError(
+        f"line {line_number}: unsupported directive {parts[0]}"
+    )
+
+
+def _parse_record_line(
+    line: str, origin: Name, default_ttl: int, line_number: int
+) -> Tuple[Name, int, int, str]:
+    parts = line.split(None, 1)
+    if len(parts) < 2:
+        raise ZoneFileError(f"line {line_number}: incomplete record")
+    owner_token, rest = parts
+    if owner_token == "@":
+        owner = origin
+    elif owner_token.endswith("."):
+        owner = name(owner_token)
+    else:
+        owner = origin.prepend(*name(owner_token).labels)
+
+    ttl = default_ttl
+    tokens = rest.split(None, 1)
+    if tokens and tokens[0].isdigit():
+        ttl = int(tokens[0])
+        if len(tokens) < 2:
+            raise ZoneFileError(f"line {line_number}: missing type")
+        rest = tokens[1]
+        tokens = rest.split(None, 1)
+    if tokens and tokens[0].upper() == "IN":
+        if len(tokens) < 2:
+            raise ZoneFileError(f"line {line_number}: missing type")
+        rest = tokens[1]
+        tokens = rest.split(None, 1)
+    if not tokens:
+        raise ZoneFileError(f"line {line_number}: missing type")
+    type_token = tokens[0]
+    rdata_text = tokens[1] if len(tokens) > 1 else ""
+    try:
+        rrtype = RRType.from_text(type_token)
+    except RdataError as exc:
+        raise ZoneFileError(
+            f"line {line_number}: unknown type {type_token!r}"
+        ) from exc
+    if not rdata_text:
+        raise ZoneFileError(f"line {line_number}: missing RDATA")
+    return owner, ttl, rrtype, rdata_text
+
+
+def roundtrip_zone(zone: Zone) -> Zone:
+    """Render then re-parse; used by tests and the provider export path."""
+    return parse_zone(render_zone(zone))

@@ -1,0 +1,76 @@
+"""Multi-vendor threat-intelligence aggregation (VirusTotal-style).
+
+URHunter treats "threat intelligence explicitly labels an IP address as
+malicious" as one of its two malicious-UR conditions; this module answers
+that question across a vendor fleet and exposes the per-IP vendor counts
+and merged tags that drive Figures 3(b) and 3(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from .vendor import SecurityVendor
+
+
+@dataclass(frozen=True)
+class IntelReport:
+    """The aggregated view of one IP address."""
+
+    address: str
+    flagging_vendors: FrozenSet[str]
+    tags: FrozenSet[str]
+
+    @property
+    def is_malicious(self) -> bool:
+        return bool(self.flagging_vendors)
+
+    @property
+    def vendor_count(self) -> int:
+        return len(self.flagging_vendors)
+
+
+class ThreatIntelAggregator:
+    """Aggregates verdicts across a fleet of :class:`SecurityVendor`."""
+
+    def __init__(self, vendors: Sequence[SecurityVendor]):
+        if not vendors:
+            raise ValueError("an aggregator needs at least one vendor")
+        self.vendors = list(vendors)
+
+    def report(self, address: str) -> IntelReport:
+        """Merged verdict for ``address``."""
+        flagging = []
+        tags: set = set()
+        for vendor in self.vendors:
+            if vendor.is_malicious(address):
+                flagging.append(vendor.name)
+                tags |= set(vendor.tags(address))
+        return IntelReport(
+            address=address,
+            flagging_vendors=frozenset(flagging),
+            tags=frozenset(tags),
+        )
+
+    def is_flagged(self, address: str) -> bool:
+        return any(vendor.is_malicious(address) for vendor in self.vendors)
+
+    def vendor_count(self, address: str) -> int:
+        return sum(
+            1 for vendor in self.vendors if vendor.is_malicious(address)
+        )
+
+    def tags(self, address: str) -> FrozenSet[str]:
+        return self.report(address).tags
+
+    def bulk_report(self, addresses: Iterable[str]) -> Dict[str, IntelReport]:
+        return {address: self.report(address) for address in addresses}
+
+    def union_blacklist(self) -> List[str]:
+        """Every address flagged by at least one vendor."""
+        seen: Dict[str, None] = {}
+        for vendor in self.vendors:
+            for address in vendor.blacklist():
+                seen.setdefault(address, None)
+        return list(seen)

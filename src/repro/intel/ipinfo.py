@@ -1,0 +1,192 @@
+"""IP metadata: AS, geolocation, TLS certificates, HTTP page classes.
+
+Stands in for the MaxMind lookups and the HTTP/TLS probing URHunter's
+stage 1 performs on every undelegated A record.  The database resolves a
+specific registration first, then falls back to per-prefix defaults —
+exactly how AS/geo data behaves (prefix-granular) versus cert/HTTP data
+(host-granular).
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.address import ip_to_int
+
+
+class PageKind(enum.Enum):
+    """Coarse classification of the HTTP content at an IP."""
+
+    NONE = "none"  # nothing listening / connection refused
+    NORMAL = "normal"  # an ordinary site
+    PARKED = "parked"  # domain-parking page
+    REDIRECT = "redirect"  # redirection page
+    WARNING = "warning"  # provider protective/warning page
+
+
+#: Keywords URHunter's HTTP filter looks for (Appendix B).
+PAGE_KEYWORDS = {
+    PageKind.PARKED: ("parked", "parking", "this domain is for sale"),
+    PageKind.REDIRECT: ("redirecting", "moved permanently", "meta refresh"),
+    PageKind.WARNING: ("not hosted", "warning", "suspended"),
+}
+
+
+@dataclass(frozen=True)
+class HttpPage:
+    """A probed HTTP response."""
+
+    status: int = 200
+    title: str = ""
+    body: str = ""
+    kind: PageKind = PageKind.NORMAL
+
+    @classmethod
+    def none(cls) -> "HttpPage":
+        return cls(status=0, kind=PageKind.NONE)
+
+    @classmethod
+    def parked(cls) -> "HttpPage":
+        return cls(
+            status=200,
+            title="Domain parked",
+            body="This domain is parked free, courtesy of the registrar.",
+            kind=PageKind.PARKED,
+        )
+
+    @classmethod
+    def redirect(cls, location: str = "https://example.invalid/") -> "HttpPage":
+        return cls(
+            status=301,
+            title="Redirecting",
+            body=f"Redirecting you to {location} ...",
+            kind=PageKind.REDIRECT,
+        )
+
+    @classmethod
+    def warning(cls, provider: str) -> "HttpPage":
+        return cls(
+            status=200,
+            title=f"{provider} — domain not hosted",
+            body=(
+                f"Warning: this domain is not hosted at {provider}. "
+                "If you are the owner, finish your delegation."
+            ),
+            kind=PageKind.WARNING,
+        )
+
+    def contains_keywords(self, keywords: Tuple[str, ...]) -> bool:
+        haystack = (self.title + " " + self.body).lower()
+        return any(keyword in haystack for keyword in keywords)
+
+
+@dataclass(frozen=True)
+class IpMetadata:
+    """Everything URHunter collects about one IPv4 address."""
+
+    address: str
+    asn: int
+    as_name: str
+    country: str
+    #: TLS certificate subject organisation, when a cert is served
+    cert_org: Optional[str] = None
+    http: HttpPage = field(default_factory=HttpPage.none)
+
+
+@dataclass
+class _PrefixInfo:
+    network: ipaddress.IPv4Network
+    asn: int
+    as_name: str
+    country: str
+
+
+class IpInfoDatabase:
+    """Prefix-level AS/geo defaults plus host-level overrides."""
+
+    UNKNOWN_ASN = 0
+
+    def __init__(self) -> None:
+        self._prefixes: List[_PrefixInfo] = []
+        self._hosts: Dict[str, IpMetadata] = {}
+
+    # -- population --------------------------------------------------------
+
+    def register_prefix(
+        self, cidr: str, asn: int, as_name: str, country: str
+    ) -> None:
+        """Declare AS/geo defaults for every address in ``cidr``."""
+        self._prefixes.append(
+            _PrefixInfo(
+                network=ipaddress.IPv4Network(cidr),
+                asn=asn,
+                as_name=as_name,
+                country=country,
+            )
+        )
+
+    def register_host(
+        self,
+        address: str,
+        cert_org: Optional[str] = None,
+        http: Optional[HttpPage] = None,
+        asn: Optional[int] = None,
+        as_name: Optional[str] = None,
+        country: Optional[str] = None,
+    ) -> IpMetadata:
+        """Record host-level facts, inheriting prefix defaults."""
+        base = self._prefix_defaults(address)
+        meta = IpMetadata(
+            address=address,
+            asn=asn if asn is not None else base[0],
+            as_name=as_name if as_name is not None else base[1],
+            country=country if country is not None else base[2],
+            cert_org=cert_org,
+            http=http if http is not None else HttpPage.none(),
+        )
+        self._hosts[address] = meta
+        return meta
+
+    # -- lookup ---------------------------------------------------------
+
+    def _prefix_defaults(self, address: str) -> Tuple[int, str, str]:
+        ip_to_int(address)  # validates
+        packed = ipaddress.IPv4Address(address)
+        best: Optional[_PrefixInfo] = None
+        for info in self._prefixes:
+            if packed in info.network:
+                if best is None or (
+                    info.network.prefixlen > best.network.prefixlen
+                ):
+                    best = info
+        if best is None:
+            return (self.UNKNOWN_ASN, "UNKNOWN", "ZZ")
+        return (best.asn, best.as_name, best.country)
+
+    def lookup(self, address: str) -> IpMetadata:
+        """Full metadata for ``address`` (never raises for unknown hosts)."""
+        hit = self._hosts.get(address)
+        if hit is not None:
+            return hit
+        asn, as_name, country = self._prefix_defaults(address)
+        return IpMetadata(
+            address=address, asn=asn, as_name=as_name, country=country
+        )
+
+    def asn(self, address: str) -> int:
+        return self.lookup(address).asn
+
+    def country(self, address: str) -> str:
+        return self.lookup(address).country
+
+    def cert_org(self, address: str) -> Optional[str]:
+        return self.lookup(address).cert_org
+
+    def http(self, address: str) -> HttpPage:
+        return self.lookup(address).http
+
+    def known_hosts(self) -> List[str]:
+        return list(self._hosts)

@@ -1,0 +1,137 @@
+"""Passive DNS store: historical resolutions and delegations.
+
+The paper collaborated with "one of the largest DNS providers in the
+world" for six years of passive DNS, used in two places:
+
+* Appendix B condition 5 — a UR matching any historical record of its
+  domain is a *correct record* (a past delegation, e.g. the domain moved
+  providers);
+* §4.1(2) — collecting historical delegated records.
+
+This store is time-windowed so the six-year horizon is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..dns.name import Name, name
+from ..dns.rdata import RRType
+
+SIX_YEARS = 6 * 365 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class PdnsObservation:
+    """One historical (domain, rrtype, rdata) sighting."""
+
+    domain: Name
+    rrtype: int
+    rdata_text: str
+    first_seen: float
+    last_seen: float
+
+
+class PassiveDnsStore:
+    """An append-only passive-DNS database with windowed queries."""
+
+    def __init__(self, horizon: float = SIX_YEARS):
+        self.horizon = horizon
+        self._observations: Dict[
+            Tuple[Name, int, str], PdnsObservation
+        ] = {}
+
+    def observe(
+        self,
+        domain: Union[str, Name],
+        rrtype: int,
+        rdata_text: str,
+        timestamp: float,
+    ) -> None:
+        """Record a sighting, widening first/last-seen as needed."""
+        domain = name(domain)
+        key = (domain, rrtype, rdata_text)
+        existing = self._observations.get(key)
+        if existing is None:
+            self._observations[key] = PdnsObservation(
+                domain=domain,
+                rrtype=rrtype,
+                rdata_text=rdata_text,
+                first_seen=timestamp,
+                last_seen=timestamp,
+            )
+            return
+        self._observations[key] = PdnsObservation(
+            domain=domain,
+            rrtype=rrtype,
+            rdata_text=rdata_text,
+            first_seen=min(existing.first_seen, timestamp),
+            last_seen=max(existing.last_seen, timestamp),
+        )
+
+    def observe_delegation(
+        self,
+        domain: Union[str, Name],
+        ns_targets: List[Union[str, Name]],
+        timestamp: float,
+    ) -> None:
+        """Record the NS set a domain was delegated to at ``timestamp``."""
+        for target in ns_targets:
+            self.observe(
+                domain, RRType.NS, name(target).to_text(True), timestamp
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def history(
+        self,
+        domain: Union[str, Name],
+        now: float,
+        rrtype: Optional[int] = None,
+    ) -> List[PdnsObservation]:
+        """Observations for ``domain`` within the horizon ending at ``now``."""
+        domain = name(domain)
+        window_start = now - self.horizon
+        return [
+            observation
+            for observation in self._observations.values()
+            if observation.domain == domain
+            and (rrtype is None or observation.rrtype == rrtype)
+            and observation.last_seen >= window_start
+            and observation.first_seen <= now
+        ]
+
+    def historical_rdata(
+        self, domain: Union[str, Name], rrtype: int, now: float
+    ) -> Set[str]:
+        """The set of historical rdata texts for (domain, rrtype)."""
+        return {
+            observation.rdata_text
+            for observation in self.history(domain, now, rrtype)
+        }
+
+    def record_in_history(
+        self,
+        domain: Union[str, Name],
+        rrtype: int,
+        rdata_text: str,
+        now: float,
+    ) -> bool:
+        """Appendix B condition 5: was this exact record ever served?"""
+        return rdata_text in self.historical_rdata(domain, rrtype, now)
+
+    def historical_nameservers(
+        self, domain: Union[str, Name], now: float
+    ) -> Set[Name]:
+        """Every nameserver the domain was ever delegated to (in window)."""
+        return {
+            name(observation.rdata_text)
+            for observation in self.history(domain, now, RRType.NS)
+        }
+
+    def domains(self) -> Set[Name]:
+        return {observation.domain for observation in self._observations.values()}
+
+    def __len__(self) -> int:
+        return len(self._observations)

@@ -1,0 +1,270 @@
+"""The simulated internet: host registry, transport, and a virtual clock.
+
+Hosts register under IPv4 addresses and implement small service protocols
+(:class:`DnsService`, :class:`TcpService`).  Every DNS exchange is encoded
+to RFC 1035 wire format and decoded on the far side, so the simulation
+exercises the same parsing paths a real scanner would.
+
+The clock is virtual — time advances only when :meth:`SimulatedInternet.tick`
+runs or a transaction charges latency — keeping every run deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Protocol as TypingProtocol
+
+from ..dns.message import Message, Rcode
+from ..dns.wire import WireError, decode_message, encode_message
+from .traffic import FlowRecord, Protocol, TrafficCapture
+
+DNS_PORT = 53
+#: classic UDP payload ceiling (RFC 1035 §4.2.1); larger responses are
+#: truncated and the client retries over TCP
+MAX_UDP_PAYLOAD = 512
+
+
+class NetworkError(RuntimeError):
+    """Raised for transport-level failures (no route, no listener)."""
+
+
+class DnsService(TypingProtocol):
+    """A host-side DNS handler.
+
+    Implementations receive the decoded query and return a response
+    message; returning None simulates a drop (the client times out).
+    """
+
+    def handle_dns_query(
+        self, query: Message, src_ip: str, network: "SimulatedInternet"
+    ) -> Optional[Message]:
+        ...
+
+
+class TcpService(TypingProtocol):
+    """A host-side TCP handler for non-DNS ports."""
+
+    def handle_tcp_connect(
+        self, src_ip: str, dst_port: int, payload: bytes,
+        network: "SimulatedInternet",
+    ) -> Optional[bytes]:
+        ...
+
+
+@dataclass
+class _HostEntry:
+    dns: Optional[DnsService] = None
+    tcp: Optional[TcpService] = None
+    online: bool = True
+
+
+class SimulatedInternet:
+    """Registry plus transport for all simulated hosts.
+
+    All exchanges are synchronous request/response; latency is charged to
+    the virtual clock per transaction.
+    """
+
+    def __init__(self, latency: float = 0.01):
+        self._hosts: Dict[str, _HostEntry] = {}
+        self._clock = 0.0
+        self.latency = latency
+        self.capture = TrafficCapture()
+        #: counters for observability / benchmarks
+        self.stats: Dict[str, int] = {
+            "dns_queries": 0,
+            "dns_timeouts": 0,
+            "tcp_connects": 0,
+            "tcp_failures": 0,
+            "wire_errors": 0,
+        }
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._clock
+
+    def tick(self, seconds: float = 1.0) -> float:
+        """Advance the virtual clock."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._clock += seconds
+        return self._clock
+
+    # -- host registry ------------------------------------------------------
+
+    def register_dns_host(self, address: str, service: DnsService) -> None:
+        """Attach a DNS service to an address (port 53)."""
+        entry = self._hosts.setdefault(address, _HostEntry())
+        entry.dns = service
+
+    def register_tcp_host(self, address: str, service: TcpService) -> None:
+        """Attach a generic TCP service to an address."""
+        entry = self._hosts.setdefault(address, _HostEntry())
+        entry.tcp = service
+
+    def register_stub(self, address: str) -> None:
+        """Register an address with no services (a plain endpoint)."""
+        self._hosts.setdefault(address, _HostEntry())
+
+    def set_online(self, address: str, online: bool) -> None:
+        """Take a host down or bring it back (failure injection)."""
+        entry = self._hosts.get(address)
+        if entry is None:
+            raise NetworkError(f"unknown host {address}")
+        entry.online = online
+
+    def knows(self, address: str) -> bool:
+        return address in self._hosts
+
+    def is_online(self, address: str) -> bool:
+        entry = self._hosts.get(address)
+        return entry is not None and entry.online
+
+    def dns_hosts(self) -> Dict[str, DnsService]:
+        """All currently registered DNS services by address."""
+        return {
+            address: entry.dns
+            for address, entry in self._hosts.items()
+            if entry.dns is not None
+        }
+
+    # -- transport ----------------------------------------------------------
+
+    def query_dns(
+        self,
+        src_ip: str,
+        dst_ip: str,
+        query: Message,
+        transport: str = "udp",
+    ) -> Message:
+        """Send a DNS query and return the decoded response.
+
+        The query is wire-encoded and re-decoded on each side.  Transport
+        failures (unknown host, offline host, handler drop) raise
+        :class:`NetworkError`, which callers treat as a timeout.
+
+        Over ``"udp"`` a response larger than :data:`MAX_UDP_PAYLOAD`
+        comes back truncated (TC bit set, record sections emptied);
+        ``"tcp"`` carries any size.  :meth:`query_dns_auto` performs the
+        standard retry-over-TCP dance.
+        """
+        if transport not in ("udp", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self._clock += self.latency
+        self.stats["dns_queries"] += 1
+        qname = query.questions[0].qname if query.questions else None
+        flow = FlowRecord(
+            timestamp=self._clock,
+            src=src_ip,
+            dst=dst_ip,
+            protocol=Protocol.DNS,
+            dst_port=DNS_PORT,
+            payload_size=0,
+            metadata={
+                "qname": str(qname) if qname is not None else None,
+                "qtype": (
+                    query.questions[0].qtype if query.questions else None
+                ),
+            },
+        )
+        entry = self._hosts.get(dst_ip)
+        if entry is None or not entry.online or entry.dns is None:
+            self.stats["dns_timeouts"] += 1
+            self.capture.record(replace(flow, success=False))
+            raise NetworkError(f"no DNS service at {dst_ip}")
+        wire = encode_message(query)
+        try:
+            decoded_query = decode_message(wire)
+        except WireError as exc:
+            self.stats["wire_errors"] += 1
+            raise NetworkError(f"query failed to encode cleanly: {exc}")
+        response = entry.dns.handle_dns_query(decoded_query, src_ip, self)
+        if response is None:
+            self.stats["dns_timeouts"] += 1
+            self.capture.record(replace(flow, success=False))
+            raise NetworkError(f"DNS service at {dst_ip} dropped the query")
+        response_wire = encode_message(response)
+        if transport == "udp" and len(response_wire) > MAX_UDP_PAYLOAD:
+            self.stats["truncated_responses"] = (
+                self.stats.get("truncated_responses", 0) + 1
+            )
+            truncated = Message(
+                header=replace(response.header, truncated=True),
+                questions=list(response.questions),
+            )
+            response_wire = encode_message(truncated)
+        try:
+            decoded = decode_message(response_wire)
+        except WireError as exc:
+            self.stats["wire_errors"] += 1
+            raise NetworkError(f"response failed to decode: {exc}")
+        self.capture.record(
+            replace(
+                flow,
+                payload_size=len(response_wire),
+                metadata={
+                    **flow.metadata,
+                    "rcode": Rcode.to_text(decoded.header.rcode),
+                    "answers": [
+                        record.rdata.to_text() for record in decoded.answers
+                    ],
+                },
+            )
+        )
+        return decoded
+
+    def query_dns_auto(
+        self, src_ip: str, dst_ip: str, query: Message
+    ) -> Message:
+        """UDP first; on a truncated response, retry the query over TCP."""
+        response = self.query_dns(src_ip, dst_ip, query, transport="udp")
+        if response.header.truncated:
+            response = self.query_dns(
+                src_ip, dst_ip, query, transport="tcp"
+            )
+        return response
+
+    def connect_tcp(
+        self,
+        src_ip: str,
+        dst_ip: str,
+        dst_port: int,
+        payload: bytes = b"",
+        protocol: Protocol = Protocol.TCP,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> Optional[bytes]:
+        """Open a TCP exchange; returns the response bytes or None.
+
+        A connection to an unregistered or offline address fails (records
+        an unsuccessful flow and returns None) — malware beaconing to a
+        dead C2 looks exactly like this in the capture.
+        """
+        self._clock += self.latency
+        self.stats["tcp_connects"] += 1
+        entry = self._hosts.get(dst_ip)
+        reachable = (
+            entry is not None and entry.online and entry.tcp is not None
+        )
+        merged_metadata = dict(metadata or {})
+        # Keep a payload excerpt so content-inspection (IDS signatures)
+        # works on the capture, as it would on a pcap.
+        merged_metadata.setdefault("payload", payload[:256])
+        flow = FlowRecord(
+            timestamp=self._clock,
+            src=src_ip,
+            dst=dst_ip,
+            protocol=protocol,
+            dst_port=dst_port,
+            payload_size=len(payload),
+            success=reachable,
+            metadata=merged_metadata,
+        )
+        self.capture.record(flow)
+        if not reachable:
+            self.stats["tcp_failures"] += 1
+            return None
+        assert entry is not None and entry.tcp is not None
+        return entry.tcp.handle_tcp_connect(src_ip, dst_port, payload, self)

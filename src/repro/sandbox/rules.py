@@ -1,0 +1,179 @@
+"""The default IDS rule set.
+
+Signatures are modeled on real emerging-threats rule families: trojan
+check-in beacons, RAT C2 heartbeats, data-exfiltration markers, SMTP
+covert channels, connectivity checks (informational), and a stateful
+port-scan detector.  Malware in :mod:`repro.sandbox.families` emits the
+actual byte patterns these rules look for — the IDS has no knowledge of
+which sample produced a flow.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set
+
+from ..net.traffic import FlowRecord, Protocol
+from .ids import (
+    Alert,
+    AlertCategory,
+    IdsRule,
+    Severity,
+    all_of,
+    payload_contains,
+    port_is,
+    protocol_is,
+)
+
+#: Byte signatures trojan families embed in their check-in traffic.
+TROJAN_BEACON_PATTERNS = (
+    b"POST /gate.php",
+    b"X-Trojan-Session:",
+    b"MIRAI-SYN",
+    b"dark.iot/checkin",
+)
+
+#: RAT / botnet command-and-control heartbeats.
+CC_PATTERNS = (
+    b"SPECTER-HELLO",
+    b"C2-HEARTBEAT",
+    b"BOT-REGISTER",
+    b"MICROPSIA-TASK",
+)
+
+#: Credential / document exfiltration markers.
+EXFIL_PATTERNS = (
+    b"EXFIL-BEGIN",
+    b"password-dump",
+    b"X-Stolen-Data:",
+)
+
+#: SMTP covert-channel markers (AgentTesla-style exfil over SMTP).
+SMTP_COVERT_PATTERNS = (
+    b"X-Covert-Channel:",
+    b"base64,U1RPTEVO",
+)
+
+#: Connectivity-check endpoints (informational only).
+CONNECTIVITY_PATTERNS = (
+    b"GET /generate_204",
+    b"GET /connecttest.txt",
+    b"GET /ncsi.txt",
+)
+
+SCAN_THRESHOLD = 8
+
+
+def _scan_detector(flows: Sequence[FlowRecord]) -> List[Alert]:
+    """Stateful rule: one source touching many distinct hosts on the same
+    port in a capture is scanning."""
+    by_source: Dict[tuple, Set[str]] = defaultdict(set)
+    first_flow: Dict[tuple, FlowRecord] = {}
+    for flow in flows:
+        if flow.protocol is Protocol.DNS:
+            continue
+        key = (flow.src, flow.dst_port)
+        by_source[key].add(flow.dst)
+        first_flow.setdefault(key, flow)
+    alerts = []
+    for key, destinations in by_source.items():
+        if len(destinations) >= SCAN_THRESHOLD:
+            alerts.append(
+                Alert(
+                    sid=2100001,
+                    message=(
+                        f"port scan: {len(destinations)} hosts on "
+                        f"port {key[1]}"
+                    ),
+                    category=AlertCategory.OTHER,
+                    severity=Severity.MEDIUM,
+                    flow=first_flow[key],
+                )
+            )
+    return alerts
+
+
+def default_rules() -> List[IdsRule]:
+    """The stock signature set loaded by every sandbox."""
+    return [
+        IdsRule(
+            sid=2000001,
+            message="ET TROJAN generic trojan check-in",
+            category=AlertCategory.TROJAN,
+            severity=Severity.HIGH,
+            predicate=payload_contains(*TROJAN_BEACON_PATTERNS),
+        ),
+        IdsRule(
+            sid=2000002,
+            message="ET MALWARE RAT C2 heartbeat",
+            category=AlertCategory.CC,
+            severity=Severity.HIGH,
+            predicate=payload_contains(*CC_PATTERNS),
+        ),
+        IdsRule(
+            sid=2000003,
+            message="ET POLICY data exfiltration marker",
+            category=AlertCategory.PRIVACY,
+            severity=Severity.MEDIUM,
+            predicate=payload_contains(*EXFIL_PATTERNS),
+        ),
+        IdsRule(
+            sid=2000004,
+            message="ET SMTP suspicious covert channel",
+            category=AlertCategory.TROJAN,
+            severity=Severity.HIGH,
+            predicate=all_of(
+                protocol_is(Protocol.SMTP),
+                payload_contains(*SMTP_COVERT_PATTERNS),
+            ),
+        ),
+        IdsRule(
+            sid=2000005,
+            message="ET CNC known C2 port with binary payload",
+            category=AlertCategory.CC,
+            severity=Severity.MEDIUM,
+            predicate=all_of(
+                port_is(4444, 6667, 1337),
+                protocol_is(Protocol.TCP),
+            ),
+        ),
+        IdsRule(
+            sid=2000006,
+            message="GPL bad-traffic nonstandard port 0 connection",
+            category=AlertCategory.BAD_TRAFFIC,
+            severity=Severity.MEDIUM,
+            predicate=port_is(0),
+        ),
+        IdsRule(
+            sid=2000009,
+            message="GPL NETBIOS SMB probe on 445",
+            category=AlertCategory.OTHER,
+            severity=Severity.MEDIUM,
+            predicate=all_of(
+                port_is(445),
+                payload_contains(b"\x00probe"),
+            ),
+        ),
+        IdsRule(
+            sid=2000007,
+            message="ET POLICY connectivity check",
+            category=AlertCategory.CONNECTIVITY,
+            severity=Severity.LOW,
+            predicate=payload_contains(*CONNECTIVITY_PATTERNS),
+        ),
+        IdsRule(
+            sid=2000008,
+            message="ET TROJAN suspicious SMTP from non-mail host",
+            category=AlertCategory.TROJAN,
+            severity=Severity.MEDIUM,
+            predicate=all_of(
+                protocol_is(Protocol.SMTP),
+                payload_contains(b"EHLO victim"),
+            ),
+        ),
+    ]
+
+
+def default_capture_rules():
+    """The stock stateful rules."""
+    return [_scan_detector]

@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.casestudy over the shared world."""
+
+import pytest
+
+from repro.analysis.casestudy import (
+    all_case_studies,
+    family_case_study,
+    spf_case_study,
+)
+
+
+@pytest.fixture(scope="module")
+def nameserver_provider(small_world):
+    return {
+        target.address: target.provider
+        for target in small_world.nameserver_targets
+    }
+
+
+@pytest.fixture(scope="module")
+def case_studies(small_world, small_report, nameserver_provider):
+    return all_case_studies(
+        small_report, small_world.sandbox_reports, nameserver_provider
+    )
+
+
+class TestDarkIot:
+    def test_present(self, case_studies):
+        assert "Dark.IoT" in case_studies
+
+    def test_three_samples_two_variant_generations(self, case_studies):
+        case = case_studies["Dark.IoT"]
+        assert case.sample_count == 3
+        assert set(case.variants) == {"2021-12-12", "2023-03-04"}
+
+    def test_urs_on_cloudns(self, case_studies):
+        case = case_studies["Dark.IoT"]
+        assert case.providers == ["ClouDNS"]
+        assert "api.gitlab.com" in case.ur_domains
+
+    def test_detected_by_av(self, case_studies):
+        assert case_studies["Dark.IoT"].max_vendor_detections > 0
+
+    def test_alerts_raised(self, case_studies):
+        assert case_studies["Dark.IoT"].alert_count > 0
+
+    def test_summary_readable(self, case_studies):
+        text = case_studies["Dark.IoT"].summary()
+        assert "Dark.IoT" in text and "ClouDNS" in text
+
+
+class TestSpecter:
+    def test_three_variants_on_cloudns(self, case_studies):
+        case = case_studies["Specter"]
+        assert case.sample_count == 3
+        assert case.providers == ["ClouDNS"]
+        assert set(case.ur_domains) >= {"ibm.com"}
+
+    def test_undetected_by_all_vendors(self, case_studies):
+        # "They have not been flagged yet as malicious by 74 mainstream
+        # security vendors."
+        case = case_studies["Specter"]
+        assert case.max_vendor_detections == 0
+        assert "undetected" in case.summary()
+
+
+class TestSpfMasquerade:
+    def test_present(self, case_studies):
+        assert "SPF-masquerade" in case_studies
+
+    def test_eleven_nameservers_two_providers(self, case_studies):
+        case = case_studies["SPF-masquerade"]
+        assert case.nameserver_count == 11
+        assert case.provider_count == 2
+        assert case.providers == ["CSC", "Namecheap"]
+
+    def test_three_ips_same_slash24(self, case_studies):
+        case = case_studies["SPF-masquerade"]
+        assert len(case.spf_ips) == 3
+        assert case.all_in_same_slash24
+
+    def test_six_samples_with_one_undetected(self, case_studies):
+        case = case_studies["SPF-masquerade"]
+        assert case.sample_count == 6
+        assert case.undetected_samples == 1
+        assert case.trojan_labeled_samples == 5
+
+    def test_high_risk_alerts(self, case_studies):
+        case = case_studies["SPF-masquerade"]
+        assert case.alert_count > 0
+        assert 0 < case.high_risk_alerts <= case.alert_count
+
+
+class TestMissingData:
+    def test_unknown_family_returns_none(self, small_world, nameserver_provider):
+        assert (
+            family_case_study(
+                "NoSuchFamily",
+                small_world.sandbox_reports,
+                nameserver_provider,
+            )
+            is None
+        )
+
+    def test_spf_returns_none_without_records(self, small_world):
+        from repro.core.report import MeasurementReport
+
+        empty = MeasurementReport(classified=[], ip_verdicts={})
+        assert (
+            spf_case_study(empty, small_world.sandbox_reports) is None
+        )

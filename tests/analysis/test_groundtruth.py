@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.groundtruth."""
+
+import pytest
+
+from repro.analysis.groundtruth import (
+    GroundTruthScore,
+    score_against_ground_truth,
+)
+from repro.core.records import URCategory
+
+
+class TestScoreMath:
+    def _score(self, **kwargs):
+        base = dict(
+            true_positives=0,
+            false_positives=0,
+            under_reported=0,
+            stage2_misses=0,
+            true_negatives=0,
+            missed_entries=[],
+        )
+        base.update(kwargs)
+        return GroundTruthScore(**base)
+
+    def test_precision(self):
+        score = self._score(true_positives=8, false_positives=2)
+        assert score.precision == 0.8
+
+    def test_recall(self):
+        score = self._score(
+            true_positives=6, under_reported=3, stage2_misses=1
+        )
+        assert score.recall == 0.6
+        assert score.observable_recall == pytest.approx(6 / 9)
+
+    def test_zero_division_safe(self):
+        score = self._score()
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.observable_recall == 0.0
+
+    def test_summary(self):
+        score = self._score(true_positives=1)
+        assert "precision" in score.summary()
+
+
+class TestAgainstSmallWorld:
+    def test_perfect_precision(self, small_world, small_report):
+        """Every malicious verdict corresponds to an attacker record —
+        the pipeline raises no false alarms in the calibrated world."""
+        score = score_against_ground_truth(small_report, small_world)
+        assert score.precision == 1.0
+        assert score.false_positives == 0
+
+    def test_under_reporting_matches_paper_story(
+        self, small_world, small_report
+    ):
+        """A substantial share of attacker URs stays unknown — the
+        simulation's equivalent of the paper's 'there may be
+        under-reporting in our analysis'."""
+        score = score_against_ground_truth(small_report, small_world)
+        assert score.under_reported > 0
+        assert 0.0 < score.recall <= 1.0
+
+    def test_stage2_misses_are_geo_exclusions(
+        self, small_world, small_report
+    ):
+        score = score_against_ground_truth(small_report, small_world)
+        for entry in score.missed_entries:
+            assert entry.reasons == ("geo-subset",)
+            assert entry.category in (
+                URCategory.CORRECT,
+                URCategory.PROTECTIVE,
+            )
+
+    def test_totals_consistent(self, small_world, small_report):
+        score = score_against_ground_truth(small_report, small_world)
+        total = (
+            score.true_positives
+            + score.false_positives
+            + score.under_reported
+            + score.stage2_misses
+            + score.true_negatives
+        )
+        assert total == len(small_report.classified)

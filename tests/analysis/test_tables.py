@@ -1,0 +1,131 @@
+"""Tests for repro.analysis.tables: Table 1 and the Table 2 probe."""
+
+import pytest
+
+from repro.analysis.tables import build_table1, build_table2, probe_provider
+from repro.hosting.policy import NsAllocation
+
+
+class TestTable1:
+    def test_rows_match_report_stats(self, small_report):
+        table = build_table1(small_report)
+        stats = small_report.suspicious_stats()
+        assert table.rows["Total"].urs_total == stats["Total"].urs_total
+        assert "Table 1" in table.text
+
+    def test_all_three_rows_rendered(self, small_report):
+        table = build_table1(small_report)
+        for label in ("A", "TXT", "Total"):
+            assert label in table.text
+
+    def test_percentages_in_text(self, small_report):
+        table = build_table1(small_report)
+        assert "%" in table.text
+
+
+@pytest.fixture(scope="module")
+def probes(request):
+    """Probe the seven Table-2 providers of a fresh world."""
+    from repro.scenario import build_world, small_config
+
+    world = build_world(small_config(seed=55))
+    providers = [
+        world.providers[provider_name]
+        for provider_name in (
+            "Alibaba Cloud",
+            "Amazon",
+            "Baidu Cloud",
+            "ClouDNS",
+            "Cloudflare",
+            "Godaddy",
+            "Tencent Cloud",
+        )
+    ]
+    table = build_table2(providers)
+    return {result.provider: result for result in table.results}, table
+
+
+class TestTable2PaperMatrix:
+    """The probe must reproduce the paper's Table 2 row by row."""
+
+    def test_ns_allocation_column(self, probes):
+        results, _ = probes
+        assert results["Alibaba Cloud"].ns_allocation is NsAllocation.GLOBAL_FIXED
+        assert results["Amazon"].ns_allocation is NsAllocation.RANDOM
+        assert results["Cloudflare"].ns_allocation is NsAllocation.ACCOUNT_FIXED
+        assert results["Tencent Cloud"].ns_allocation is NsAllocation.ACCOUNT_FIXED
+
+    def test_all_host_without_verification(self, probes):
+        results, _ = probes
+        for result in results.values():
+            assert result.hosts_without_verification, result.provider
+
+    def test_unregistered_column(self, probes):
+        results, _ = probes
+        allowed = {
+            provider
+            for provider, result in results.items()
+            if result.allows_unregistered
+        }
+        assert allowed == {"Amazon", "ClouDNS"}
+
+    def test_subdomain_column(self, probes):
+        results, _ = probes
+        refused = {
+            provider
+            for provider, result in results.items()
+            if not result.allows_subdomain
+        }
+        assert refused == {"Baidu Cloud", "Tencent Cloud"}
+
+    def test_sld_and_etld_columns(self, probes):
+        results, _ = probes
+        for result in results.values():
+            assert result.allows_sld, result.provider
+            assert result.allows_etld, result.provider
+
+    def test_duplicate_columns(self, probes):
+        results, _ = probes
+        single = {
+            provider
+            for provider, result in results.items()
+            if result.duplicate_single_user
+        }
+        cross = {
+            provider
+            for provider, result in results.items()
+            if result.duplicate_cross_user
+        }
+        assert single == {"Amazon"}
+        assert cross == {"Amazon", "Cloudflare", "Tencent Cloud"}
+
+    def test_no_retrieval_column(self, probes):
+        results, _ = probes
+        no_retrieval = {
+            provider
+            for provider, result in results.items()
+            if result.no_retrieval
+        }
+        assert no_retrieval == {"Amazon", "ClouDNS", "Godaddy"}
+
+    def test_rendered_table(self, probes):
+        _, table = probes
+        assert "Table 2" in table.text
+        assert "Cloudflare" in table.text
+
+    def test_probe_cleans_up(self, probes):
+        # Ethics: every probe zone is removed afterwards.
+        from repro.scenario import build_world, small_config
+
+        world = build_world(small_config(seed=56))
+        provider = world.providers["Godaddy"]
+        zones_before = len(provider.hosted_zones())
+        probe_provider(provider)
+        assert len(provider.hosted_zones()) == zones_before
+
+    def test_reserved_note_reported(self, probes):
+        results, _ = probes
+        assert any(
+            "prohibited" in note
+            for note in results["Cloudflare"].notes
+        )

@@ -1,0 +1,25 @@
+"""Shared fixtures: a small world + its measurement, built once."""
+
+import pytest
+
+from repro.core import HunterConfig, URHunter
+from repro.scenario import ScenarioConfig, build_world, small_config
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """One deterministic small world shared across the suite."""
+    return build_world(small_config(seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_report(small_world):
+    """The URHunter measurement over the shared world."""
+    hunter = URHunter.from_world(small_world)
+    return hunter.run()
+
+
+@pytest.fixture(scope="session")
+def small_hunter(small_world):
+    """A hunter instance (fresh pipeline state, same world)."""
+    return URHunter.from_world(small_world)

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 7
+        assert args.scale == "default"
+        assert not args.post_disclosure
+        assert not args.mx
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            [
+                "--seed",
+                "42",
+                "--scale",
+                "small",
+                "--post-disclosure",
+                "--mx",
+                "table1",
+            ]
+        )
+        assert args.seed == 42
+        assert args.scale == "small"
+        assert args.post_disclosure and args.mx
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+BASE = ["--scale", "small", "--seed", "9"]
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(BASE + ["run"]) == 0
+        out = capsys.readouterr().out
+        assert "unique_urs" in out
+        assert "malicious" in out
+
+    def test_table1(self, capsys):
+        assert main(BASE + ["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(BASE + ["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Cloudflare" in out
+
+    def test_figures(self, capsys):
+        assert main(BASE + ["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Figure 3(d)" in out
+        assert "paper" in out
+
+    def test_casestudies(self, capsys):
+        assert main(BASE + ["casestudies"]) == 0
+        out = capsys.readouterr().out
+        assert "Dark.IoT" in out
+        assert "SPF-masquerade" in out
+
+    def test_defenses(self, capsys):
+        assert main(BASE + ["defenses"]) == 0
+        out = capsys.readouterr().out
+        assert "reputation-based" in out
+        assert "direct-resolution" in out
+
+    def test_validate_exit_code(self, capsys):
+        assert main(BASE + ["validate"]) == 0
+        assert "false-negative" in capsys.readouterr().out
+
+    def test_mx_flag_changes_sweep(self, capsys):
+        assert main(BASE + ["--mx", "table1"]) == 0
+        # The MX sweep sends 50% more queries; just assert it ran.
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,224 @@
+"""Tests for repro.core.collector: stage-1 response collection."""
+
+import pytest
+
+from repro.core.collector import (
+    DomainTarget,
+    NameserverTarget,
+    ResponseCollector,
+    select_target_nameservers,
+)
+from repro.core.correctness import CorrectRecordDatabase
+from repro.dns.name import name
+from repro.dns.rdata import RRType
+from repro.dns.server import AuthoritativeServer, make_protective_server
+from repro.dns.zone import zone_from_records
+from repro.intel.ipinfo import IpInfoDatabase
+from repro.net.network import SimulatedInternet
+
+NS_A = "10.0.0.1"  # hosts victim.com (delegated) and squat.com (UR)
+NS_B = "10.0.0.2"  # protective
+NS_C = "10.0.0.3"  # refuses everything
+
+
+@pytest.fixture
+def setup():
+    network = SimulatedInternet()
+    server_a = AuthoritativeServer("ns-a.host.net")
+    server_a.load_zone(
+        zone_from_records("victim.com", [("victim.com", "A", "10.1.0.1")])
+    )
+    server_a.load_zone(
+        zone_from_records(
+            "squat.com",
+            [
+                ("squat.com", "A", "10.3.0.66"),
+                ("squat.com", "TXT", '"cmd=blob"'),
+            ],
+        )
+    )
+    network.register_dns_host(NS_A, server_a)
+    network.register_dns_host(
+        NS_B, make_protective_server("ns-b.host.net", "203.0.113.250")
+    )
+    network.register_dns_host(NS_C, AuthoritativeServer("ns-c.host.net"))
+
+    nameservers = [
+        NameserverTarget(NS_A, "HostA"),
+        NameserverTarget(NS_B, "HostB"),
+        NameserverTarget(NS_C, "HostC"),
+    ]
+    domains = [
+        DomainTarget(name("victim.com"), 1),
+        DomainTarget(name("squat.com"), 2),
+    ]
+    collector = ResponseCollector(network)
+    return network, collector, nameservers, domains
+
+
+class TestUrCollection:
+    def test_urs_extracted_from_noerror(self, setup):
+        _, collector, nameservers, domains = setup
+        urs, responses, queries, timeouts = collector.collect_urs(
+            nameservers, domains, delegated_to={}
+        )
+        keys = {(str(record.domain), record.nameserver_ip, record.rrtype)
+                for record in urs}
+        assert ("squat.com", NS_A, RRType.A) in keys
+        assert ("squat.com", NS_A, RRType.TXT) in keys
+        assert ("victim.com", NS_A, RRType.A) in keys
+        assert timeouts == 0
+
+    def test_delegated_pairs_skipped(self, setup):
+        _, collector, nameservers, domains = setup
+        urs, _, _, _ = collector.collect_urs(
+            nameservers,
+            domains,
+            delegated_to={name("victim.com"): {NS_A}},
+        )
+        assert not any(
+            str(record.domain) == "victim.com"
+            and record.nameserver_ip == NS_A
+            for record in urs
+        )
+        # squat.com at NS_A is still collected.
+        assert any(
+            str(record.domain) == "squat.com" for record in urs
+        )
+
+    def test_refused_servers_yield_nothing(self, setup):
+        _, collector, nameservers, domains = setup
+        urs, _, _, _ = collector.collect_urs(
+            [NameserverTarget(NS_C, "HostC")], domains, {}
+        )
+        assert urs == []
+
+    def test_protective_answers_collected_as_urs(self, setup):
+        _, collector, nameservers, domains = setup
+        urs, _, _, _ = collector.collect_urs(
+            [NameserverTarget(NS_B, "HostB")], domains, {}
+        )
+        # Both domains answered with the same protective A + TXT.
+        a_records = [r for r in urs if r.rrtype == RRType.A]
+        assert len(a_records) == 2
+        assert all(r.rdata_text == "203.0.113.250" for r in a_records)
+
+    def test_dead_server_counts_timeouts(self, setup):
+        network, collector, _, domains = setup
+        network.set_online(NS_A, False)
+        urs, responses, queries, timeouts = collector.collect_urs(
+            [NameserverTarget(NS_A, "HostA")], domains, {}
+        )
+        assert urs == []
+        assert timeouts == queries
+
+    def test_unique_urs_deduped(self, setup):
+        _, collector, nameservers, domains = setup
+        urs, _, _, _ = collector.collect_urs(nameservers, domains, {})
+        assert len({record.key for record in urs}) == len(urs)
+
+    def test_provider_attached(self, setup):
+        _, collector, nameservers, domains = setup
+        urs, _, _, _ = collector.collect_urs(nameservers, domains, {})
+        providers = {record.provider for record in urs}
+        assert "HostA" in providers
+
+
+class TestProtectiveFingerprinting:
+    def test_protective_server_fingerprinted(self, setup):
+        _, collector, nameservers, _ = setup
+        fingerprints = collector.collect_protective_records(nameservers)
+        assert fingerprints[NS_B].matches(RRType.A, "203.0.113.250")
+
+    def test_normal_server_empty_fingerprint(self, setup):
+        _, collector, nameservers, _ = setup
+        fingerprints = collector.collect_protective_records(nameservers)
+        assert not fingerprints[NS_A].records
+        assert not fingerprints[NS_C].records
+
+    def test_probe_domain_used(self, setup):
+        network, collector, nameservers, _ = setup
+        collector.collect_protective_records(
+            nameservers, probe_domain="my-own-probe.net"
+        )
+        probed = [
+            flow
+            for flow in network.capture.dns_lookups()
+            if flow.metadata.get("qname") == "my-own-probe.net"
+        ]
+        assert probed
+
+
+class TestCorrectRecordCollection:
+    def test_records_folded_into_database(self, setup):
+        network, collector, _, domains = setup
+        from repro.dns.resolver import RecursiveResolver
+        from repro.hosting.registry import DnsRoot
+
+        # A tiny recursive path: register a root and delegate victim.com
+        # to an in-bailiwick nameserver so the TLD carries glue.
+        root = DnsRoot(network)
+        root.register("victim.com", "o")
+        root.delegate("victim.com", [(name("ns-a.hostco.com"), NS_A)])
+        resolver = RecursiveResolver(
+            "10.50.0.1", network, root.root_addresses
+        )
+        network.register_dns_host("10.50.0.1", resolver)
+
+        ipinfo = IpInfoDatabase()
+        database = CorrectRecordDatabase(ipinfo)
+        successes = collector.collect_correct_records(
+            [DomainTarget(name("victim.com"), 1)],
+            ["10.50.0.1"],
+            database,
+        )
+        assert successes >= 1
+        assert "10.1.0.1" in database.profile("victim.com").ips
+
+    def test_dead_resolver_tolerated(self, setup):
+        _, collector, _, domains = setup
+        database = CorrectRecordDatabase(IpInfoDatabase())
+        successes = collector.collect_correct_records(
+            domains, ["10.200.0.1"], database
+        )
+        assert successes == 0
+
+
+class TestRateLimiting:
+    def test_interval_advances_virtual_clock(self, setup):
+        network, _, nameservers, domains = setup
+        collector = ResponseCollector(
+            network, scanner_ip="203.0.113.99", per_server_interval=130.0
+        )
+        before = network.now
+        collector.collect_urs(
+            [NameserverTarget(NS_A, "HostA")], domains, {}
+        )
+        # 4 queries to one server -> at least 3 inter-query gaps.
+        assert network.now - before >= 3 * 130.0
+
+    def test_no_interval_no_extra_delay(self, setup):
+        network, collector, _, domains = setup
+        before = network.now
+        collector.collect_urs(
+            [NameserverTarget(NS_A, "HostA")], domains, {}
+        )
+        assert network.now - before < 1.0
+
+
+class TestNameserverSelection:
+    def test_threshold_applied(self):
+        counts = {"10.0.0.1": 100, "10.0.0.2": 10}
+        info = {
+            "10.0.0.1": ("BigHost", name("ns1.big.net")),
+            "10.0.0.2": ("SmallHost", None),
+        }
+        selected = select_target_nameservers(counts, info, min_hosted=50)
+        assert [target.address for target in selected] == ["10.0.0.1"]
+        assert selected[0].provider == "BigHost"
+
+    def test_missing_info_defaults(self):
+        selected = select_target_nameservers(
+            {"10.0.0.9": 60}, {}, min_hosted=50
+        )
+        assert selected[0].provider == "unknown"

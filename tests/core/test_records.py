@@ -1,0 +1,81 @@
+"""Tests for repro.core.records."""
+
+from repro.core.records import (
+    ClassifiedUR,
+    IpVerdict,
+    URCategory,
+    UndelegatedRecord,
+    dedupe_urs,
+)
+from repro.dns.name import name
+from repro.dns.rdata import RRType
+
+
+def ur(domain="victim.com", ns="10.0.0.1", rrtype=RRType.A, rdata="6.6.6.6"):
+    return UndelegatedRecord(
+        domain=name(domain),
+        nameserver_ip=ns,
+        provider="TestHost",
+        rrtype=rrtype,
+        rdata_text=rdata,
+    )
+
+
+class TestUniqueUrKey:
+    def test_key_components(self):
+        record = ur()
+        assert record.key == (name("victim.com"), "10.0.0.1", RRType.A, "6.6.6.6")
+
+    def test_same_record_different_nameserver_is_distinct(self):
+        # The paper: the same record on two nameservers is two unique URs.
+        assert ur(ns="10.0.0.1").key != ur(ns="10.0.0.2").key
+
+    def test_rrtype_text(self):
+        assert ur().rrtype_text == "A"
+        assert ur(rrtype=RRType.TXT, rdata="x").rrtype_text == "TXT"
+
+    def test_describe(self):
+        text = ur().describe()
+        assert "victim.com" in text and "10.0.0.1" in text
+
+
+class TestDedupe:
+    def test_duplicates_dropped_keep_first(self):
+        records = [ur(), ur(), ur(ns="10.0.0.2")]
+        unique = dedupe_urs(records)
+        assert len(unique) == 2
+        assert unique[0] is records[0]
+
+    def test_empty(self):
+        assert dedupe_urs([]) == []
+
+
+class TestCategories:
+    def test_suspicious_categories(self):
+        assert URCategory.MALICIOUS.is_suspicious
+        assert URCategory.UNKNOWN.is_suspicious
+        assert not URCategory.CORRECT.is_suspicious
+        assert not URCategory.PROTECTIVE.is_suspicious
+
+    def test_classified_flags(self):
+        entry = ClassifiedUR(record=ur(), category=URCategory.MALICIOUS)
+        assert entry.is_suspicious and entry.is_malicious
+        entry = ClassifiedUR(record=ur(), category=URCategory.UNKNOWN)
+        assert entry.is_suspicious and not entry.is_malicious
+
+
+class TestIpVerdict:
+    def test_label_sources(self):
+        both = IpVerdict("1.1.1.1", intel_flagged=True, ids_flagged=True)
+        assert both.label_source == "both"
+        intel = IpVerdict("1.1.1.1", intel_flagged=True, ids_flagged=False)
+        assert intel.label_source == "intel"
+        ids = IpVerdict("1.1.1.1", intel_flagged=False, ids_flagged=True)
+        assert ids.label_source == "ids"
+        none = IpVerdict("1.1.1.1", intel_flagged=False, ids_flagged=False)
+        assert none.label_source == "none"
+
+    def test_is_malicious(self):
+        assert IpVerdict("1.1.1.1", True, False).is_malicious
+        assert IpVerdict("1.1.1.1", False, True).is_malicious
+        assert not IpVerdict("1.1.1.1", False, False).is_malicious

@@ -1,0 +1,203 @@
+"""Tests for repro.core.report on synthetic and real reports."""
+
+import pytest
+
+from repro.core.records import (
+    ClassifiedUR,
+    IpVerdict,
+    URCategory,
+    UndelegatedRecord,
+)
+from repro.core.report import MeasurementReport, TypeStats
+from repro.dns.name import name
+from repro.dns.rdata import RRType
+
+
+def entry(
+    domain="v.com",
+    ns="10.0.0.1",
+    provider="P1",
+    rrtype=RRType.A,
+    rdata="6.6.6.1",
+    category=URCategory.UNKNOWN,
+    ips=(),
+    txt_category=None,
+):
+    return ClassifiedUR(
+        record=UndelegatedRecord(
+            domain=name(domain),
+            nameserver_ip=ns,
+            provider=provider,
+            rrtype=rrtype,
+            rdata_text=rdata,
+        ),
+        category=category,
+        corresponding_ips=tuple(ips),
+        txt_category=txt_category,
+    )
+
+
+@pytest.fixture
+def report():
+    verdicts = {
+        "6.6.6.1": IpVerdict(
+            "6.6.6.1",
+            intel_flagged=True,
+            ids_flagged=False,
+            vendor_count=2,
+            tags=frozenset({"Trojan", "Scanner"}),
+        ),
+        "6.6.6.2": IpVerdict(
+            "6.6.6.2",
+            intel_flagged=False,
+            ids_flagged=True,
+            alert_categories=("C&C Activity",),
+        ),
+        "6.6.6.3": IpVerdict(
+            "6.6.6.3",
+            intel_flagged=True,
+            ids_flagged=True,
+            vendor_count=8,
+            tags=frozenset({"Trojan"}),
+            alert_categories=("Trojan Activity", "C&C Activity"),
+        ),
+        "9.9.9.9": IpVerdict("9.9.9.9", False, False),
+    }
+    classified = [
+        entry(
+            rdata="6.6.6.1",
+            category=URCategory.MALICIOUS,
+            ips=("6.6.6.1",),
+        ),
+        entry(
+            domain="w.com",
+            rdata="6.6.6.2",
+            category=URCategory.MALICIOUS,
+            ips=("6.6.6.2",),
+            provider="P2",
+        ),
+        entry(
+            domain="x.com",
+            rrtype=RRType.TXT,
+            rdata="v=spf1 ip4:6.6.6.3 -all",
+            category=URCategory.MALICIOUS,
+            ips=("6.6.6.3",),
+            txt_category="spf",
+        ),
+        entry(
+            domain="y.com",
+            rrtype=RRType.TXT,
+            rdata="cmd=blob",
+            category=URCategory.UNKNOWN,
+            ips=("9.9.9.9",),
+            txt_category="other",
+        ),
+        entry(domain="z.com", rdata="10.1.0.1", category=URCategory.CORRECT),
+        entry(
+            domain="z.com",
+            ns="10.0.0.9",
+            rdata="203.0.113.250",
+            category=URCategory.PROTECTIVE,
+        ),
+    ]
+    return MeasurementReport(classified=classified, ip_verdicts=verdicts)
+
+
+class TestPartitions:
+    def test_category_counts(self, report):
+        counts = report.category_counts()
+        assert counts == {
+            "malicious": 3,
+            "unknown": 1,
+            "correct": 1,
+            "protective": 1,
+        }
+
+    def test_suspicious(self, report):
+        assert len(report.suspicious) == 4
+
+    def test_by_category(self, report):
+        assert len(report.by_category(URCategory.PROTECTIVE)) == 1
+
+
+class TestTable1Stats:
+    def test_total_row(self, report):
+        stats = report.suspicious_stats()["Total"]
+        assert stats.urs_total == 4
+        assert stats.urs_malicious == 3
+        assert stats.urs_malicious_pct == 75.0
+        assert stats.ips_total == 4
+        assert stats.ips_malicious == 3
+
+    def test_type_rows(self, report):
+        stats = report.suspicious_stats()
+        assert stats["A"].urs_total == 2
+        assert stats["TXT"].urs_total == 2
+        assert stats["TXT"].urs_malicious == 1
+
+    def test_domain_and_provider_counts(self, report):
+        stats = report.suspicious_stats()["Total"]
+        assert stats.domains_total == 4
+        assert stats.domains_malicious == 3
+        assert stats.providers_total == 2
+        assert stats.providers_malicious == 2
+
+    def test_pct_zero_safe(self):
+        stats = TypeStats("x", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        assert stats.urs_malicious_pct == 0.0
+
+
+class TestFigureData:
+    def test_provider_mix_sorted_by_volume(self, report):
+        mix = report.provider_category_mix()
+        assert mix[0][0] == "P1"
+        assert sum(mix[0][1].values()) == 5
+
+    def test_provider_mix_top_limit(self, report):
+        assert len(report.provider_category_mix(top=1)) == 1
+
+    def test_label_provenance(self, report):
+        assert report.label_provenance() == {
+            "intel": 1,
+            "ids": 1,
+            "both": 1,
+        }
+
+    def test_vendor_histogram(self, report):
+        histogram = report.vendor_count_histogram()
+        assert histogram["1-2"] == 1
+        assert histogram["7-11"] == 1
+        assert histogram["3-4"] == 0
+
+    def test_alert_category_shares(self, report):
+        shares = report.alert_category_shares()
+        assert shares["C&C Activity"] == pytest.approx(200 / 3)
+        assert shares["Trojan Activity"] == pytest.approx(100 / 3)
+
+    def test_tag_shares_over_intel_flagged(self, report):
+        shares = report.tag_shares()
+        # Both intel-flagged IPs carry Trojan; one carries Scanner.
+        assert shares["Trojan"] == 100.0
+        assert shares["Scanner"] == 50.0
+
+    def test_email_txt_share(self, report):
+        assert report.email_related_txt_share() == 100.0
+
+    def test_email_txt_share_empty(self):
+        empty = MeasurementReport(classified=[], ip_verdicts={})
+        assert empty.email_related_txt_share() == 0.0
+
+
+class TestSummary:
+    def test_summary_mentions_counts(self, report):
+        text = report.summary()
+        assert "malicious" in text
+        assert "suspicious" in text
+
+    def test_summary_with_validation(self, report):
+        report.false_negative_rate = 0.0
+        assert "FN rate" in report.summary()
+
+    def test_summary_on_real_run(self, small_report):
+        text = small_report.summary()
+        assert "unique URs classified" in text

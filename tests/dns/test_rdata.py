@@ -1,0 +1,223 @@
+"""Tests for repro.dns.rdata."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.name import name
+from repro.dns.rdata import (
+    A,
+    AAAA,
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    RDATA_CLASSES,
+    RdataError,
+    RRType,
+    SOA,
+    TXT,
+    rdata_from_text,
+    rdata_from_wire,
+)
+
+
+class TestA:
+    def test_roundtrip_wire(self):
+        record = A("192.0.2.1")
+        assert A.from_wire(record.to_wire()) == record
+
+    def test_text(self):
+        assert A.from_text(" 10.0.0.1 ").to_text() == "10.0.0.1"
+
+    def test_invalid_address(self):
+        with pytest.raises(RdataError):
+            A("999.1.1.1")
+        with pytest.raises(RdataError):
+            A("not-an-ip")
+
+    def test_wrong_wire_length(self):
+        with pytest.raises(RdataError):
+            A.from_wire(b"\x01\x02\x03")
+
+
+class TestAAAA:
+    def test_roundtrip(self):
+        record = AAAA("2001:db8::1")
+        assert AAAA.from_wire(record.to_wire()) == record
+
+    def test_normalization(self):
+        assert AAAA("2001:0db8:0000::0001").address == "2001:db8::1"
+
+    def test_invalid(self):
+        with pytest.raises(RdataError):
+            AAAA("2001:::1")
+
+
+class TestNameBearing:
+    @pytest.mark.parametrize("cls", [NS, CNAME, PTR])
+    def test_roundtrip(self, cls):
+        record = cls(name("ns1.example.com"))
+        assert cls.from_wire(record.to_wire()) == record
+
+    def test_ns_text_has_trailing_dot(self):
+        assert NS(name("ns1.example.com")).to_text() == "ns1.example.com."
+
+    def test_from_text_strips_dot(self):
+        assert NS.from_text("ns1.example.com.").target == name(
+            "ns1.example.com"
+        )
+
+
+class TestSOA:
+    def test_roundtrip_wire(self):
+        record = SOA(
+            mname=name("ns1.example.com"),
+            rname=name("hostmaster.example.com"),
+            serial=42,
+            refresh=1,
+            retry=2,
+            expire=3,
+            minimum=4,
+        )
+        assert SOA.from_wire(record.to_wire()) == record
+
+    def test_roundtrip_text(self):
+        record = SOA(name("a.b"), name("c.d"), 7)
+        assert SOA.from_text(record.to_text()) == record
+
+    def test_bad_field_count(self):
+        with pytest.raises(RdataError):
+            SOA.from_text("ns1.example.com. hostmaster.example.com. 1 2 3")
+
+
+class TestMX:
+    def test_roundtrip(self):
+        record = MX(10, name("mail.example.com"))
+        assert MX.from_wire(record.to_wire()) == record
+
+    def test_text(self):
+        assert MX.from_text("10 mail.example.com.").preference == 10
+
+    def test_preference_bounds(self):
+        with pytest.raises(RdataError):
+            MX(70000, name("mail.example.com"))
+        with pytest.raises(RdataError):
+            MX(-1, name("mail.example.com"))
+
+    def test_truncated_wire(self):
+        with pytest.raises(RdataError):
+            MX.from_wire(b"\x00")
+
+
+class TestTXT:
+    def test_single_string_roundtrip(self):
+        record = TXT(("v=spf1 -all",))
+        assert TXT.from_wire(record.to_wire()) == record
+
+    def test_multi_string_value_concatenates(self):
+        record = TXT(("abc", "def"))
+        assert record.value == "abcdef"
+
+    def test_from_value_chunks_long_strings(self):
+        long_value = "x" * 600
+        record = TXT.from_value(long_value)
+        assert len(record.strings) == 3
+        assert all(len(chunk) <= 255 for chunk in record.strings)
+        assert record.value == long_value
+
+    def test_from_value_empty(self):
+        assert TXT.from_value("").strings == ("",)
+
+    def test_string_too_long_rejected(self):
+        with pytest.raises(RdataError):
+            TXT(("y" * 256,))
+
+    def test_empty_strings_tuple_rejected(self):
+        with pytest.raises(RdataError):
+            TXT(())
+
+    def test_text_quoting(self):
+        record = TXT(('he said "hi"',))
+        rendered = record.to_text()
+        assert TXT.from_text(rendered) == record
+
+    def test_from_text_multiple_quoted(self):
+        record = TXT.from_text('"part one" "part two"')
+        assert record.strings == ("part one", "part two")
+
+    def test_from_text_unquoted_tokens(self):
+        record = TXT.from_text("v=spf1 -all")
+        assert record.strings == ("v=spf1", "-all")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(RdataError):
+            TXT.from_text('"unclosed')
+
+    def test_truncated_wire(self):
+        with pytest.raises(RdataError):
+            TXT.from_wire(b"\x05ab")
+
+    def test_empty_wire(self):
+        with pytest.raises(RdataError):
+            TXT.from_wire(b"")
+
+
+class TestRegistry:
+    def test_all_types_registered(self):
+        for code in (
+            RRType.A,
+            RRType.AAAA,
+            RRType.NS,
+            RRType.CNAME,
+            RRType.PTR,
+            RRType.SOA,
+            RRType.MX,
+            RRType.TXT,
+        ):
+            assert code in RDATA_CLASSES
+
+    def test_rdata_from_text_by_name(self):
+        record = rdata_from_text("A", "192.0.2.7")
+        assert isinstance(record, A)
+
+    def test_rdata_from_text_by_code(self):
+        record = rdata_from_text(RRType.TXT, '"hello"')
+        assert isinstance(record, TXT)
+
+    def test_rdata_from_wire_dispatch(self):
+        record = rdata_from_wire(RRType.A, bytes([192, 0, 2, 1]))
+        assert record == A("192.0.2.1")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(RdataError):
+            rdata_from_text(999, "data")
+
+    def test_rrtype_names(self):
+        assert RRType.to_text(RRType.A) == "A"
+        assert RRType.to_text(999) == "TYPE999"
+        assert RRType.from_text("TYPE999") == 999
+        with pytest.raises(RdataError):
+            RRType.from_text("BOGUS")
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_a_wire_roundtrip_any_address(value):
+    raw = value.to_bytes(4, "big")
+    record = A.from_wire(raw)
+    assert record.to_wire() == raw
+
+
+@given(
+    st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            min_size=0,
+            max_size=80,
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_txt_wire_roundtrip(strings):
+    record = TXT(tuple(strings))
+    assert TXT.from_wire(record.to_wire()) == record

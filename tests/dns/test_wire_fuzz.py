@@ -1,0 +1,65 @@
+"""Fuzz-style property tests: the wire decoder must never crash with
+anything other than WireError, no matter the input."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import Message
+from repro.dns.rdata import RRType
+from repro.dns.wire import WireError, decode_message, encode_message
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300)
+def test_decode_arbitrary_bytes_is_total(data):
+    """decode_message(raw) either parses or raises WireError — nothing
+    else (no IndexError, no UnicodeDecodeError, no infinite loop)."""
+    try:
+        decode_message(data)
+    except WireError:
+        pass
+
+
+@given(st.binary(min_size=12, max_size=400))
+@settings(max_examples=300)
+def test_decode_with_valid_header_prefix(data):
+    """Bytes that start with a plausible header still decode totally."""
+    header = b"\x12\x34\x81\x80\x00\x01\x00\x01\x00\x00\x00\x00"
+    try:
+        decode_message(header + data)
+    except WireError:
+        pass
+
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10)
+_qname = st.lists(_label, min_size=1, max_size=5).map(".".join)
+
+
+@given(
+    _qname,
+    st.sampled_from([RRType.A, RRType.NS, RRType.TXT, RRType.SOA, RRType.MX]),
+    st.binary(max_size=30),
+)
+@settings(max_examples=200)
+def test_bitflips_in_valid_messages(qname, qtype, noise):
+    """Splicing noise into a valid message never escapes WireError."""
+    wire = bytearray(encode_message(Message.make_query(qname, qtype)))
+    for index, byte in enumerate(noise):
+        position = 12 + (index * 7) % max(len(wire) - 12, 1)
+        wire[position] ^= byte
+    try:
+        decode_message(bytes(wire))
+    except WireError:
+        pass
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=200)
+def test_truncations_of_valid_message(suffix):
+    wire = encode_message(
+        Message.make_query("fuzz.example.com", RRType.TXT)
+    )
+    for cut in range(len(wire)):
+        try:
+            decode_message(wire[:cut] + suffix[: max(0, cut - len(wire))])
+        except WireError:
+            pass

@@ -1,0 +1,139 @@
+"""Tests for repro.dns.zonefile."""
+
+import pytest
+
+from repro.dns.name import name
+from repro.dns.rdata import A, MX, RRType, TXT
+from repro.dns.zone import zone_from_records
+from repro.dns.zonefile import (
+    ZoneFileError,
+    parse_zone,
+    render_zone,
+    roundtrip_zone,
+)
+
+SAMPLE = """\
+$ORIGIN example.com.
+$TTL 600
+@ IN A 192.0.2.1          ; apex address
+www 300 IN CNAME example.com.
+mail IN MX 10 mx1.example.com.
+@ IN TXT "v=spf1 ip4:192.0.2.1 -all"
+api.example.com. IN A 192.0.2.2
+"""
+
+
+class TestParse:
+    def test_origin_and_relative_owners(self):
+        zone = parse_zone(SAMPLE)
+        assert zone.origin == name("example.com")
+        assert zone.rrset("www.example.com", RRType.CNAME)
+        assert zone.rrset("example.com", RRType.A)[0].rdata == A("192.0.2.1")
+
+    def test_absolute_owner(self):
+        zone = parse_zone(SAMPLE)
+        assert zone.rrset("api.example.com", RRType.A)
+
+    def test_default_ttl_applied(self):
+        zone = parse_zone(SAMPLE)
+        apex = zone.rrset("example.com", RRType.A)[0]
+        assert apex.ttl == 600
+
+    def test_explicit_ttl_wins(self):
+        zone = parse_zone(SAMPLE)
+        www = zone.rrset("www.example.com", RRType.CNAME)[0]
+        assert www.ttl == 300
+
+    def test_comment_stripped(self):
+        zone = parse_zone(SAMPLE)
+        assert len(zone.rrset("example.com", RRType.A)) == 1
+
+    def test_semicolon_inside_quotes_kept(self):
+        zone = parse_zone(
+            '$ORIGIN x.org.\n@ IN TXT "v=DMARC1; p=none"\n'
+        )
+        record = zone.rrset("x.org", RRType.TXT)[0]
+        assert record.rdata == TXT(("v=DMARC1; p=none",))
+
+    def test_mx_record(self):
+        zone = parse_zone(SAMPLE)
+        record = zone.rrset("mail.example.com", RRType.MX)[0]
+        assert record.rdata == MX(10, name("mx1.example.com"))
+
+    def test_origin_argument(self):
+        zone = parse_zone("@ IN A 1.2.3.4\n", origin="seed.org")
+        assert zone.origin == name("seed.org")
+
+    def test_blank_lines_ignored(self):
+        zone = parse_zone("$ORIGIN a.com.\n\n\n@ IN A 1.1.1.1\n")
+        assert len(zone) == 1
+
+
+class TestParseErrors:
+    def test_record_before_origin(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("@ IN A 1.2.3.4\n")
+
+    def test_bad_directive(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$BOGUS x\n")
+
+    def test_bad_ttl_directive(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$TTL abc\n")
+
+    def test_missing_rdata(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.com.\n@ IN A\n")
+
+    def test_unknown_type(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.com.\n@ IN FROB data\n")
+
+    def test_invalid_rdata(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.com.\n@ IN A not-an-ip\n")
+
+    def test_empty_file(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ZoneFileError, match="line 2"):
+            parse_zone("$ORIGIN a.com.\n@ IN\n")
+
+
+class TestRenderAndRoundtrip:
+    def test_render_contains_all_records(self):
+        zone = zone_from_records(
+            "r.org",
+            [("r.org", "A", "1.2.3.4"), ("w", "TXT", '"hello world"')],
+        )
+        text = render_zone(zone)
+        assert "$ORIGIN r.org." in text
+        assert "1.2.3.4" in text
+        assert '"hello world"' in text
+
+    def test_roundtrip_preserves_records(self):
+        zone = zone_from_records(
+            "r.org",
+            [
+                ("r.org", "A", "1.2.3.4"),
+                ("r.org", "MX", "5 mx.r.org."),
+                ("w", "CNAME", "r.org."),
+                ("r.org", "TXT", '"v=spf1 -all"'),
+            ],
+        )
+        clone = roundtrip_zone(zone)
+        assert clone.origin == zone.origin
+        assert len(clone) == len(zone)
+        assert {record.rdata for record in clone.records()} == {
+            record.rdata for record in zone.records()
+        }
+
+    def test_rendered_records_sorted(self):
+        zone = zone_from_records(
+            "r.org", [("z", "A", "9.9.9.9"), ("a", "A", "1.1.1.1")]
+        )
+        text = render_zone(zone)
+        assert text.index("a.r.org.") < text.index("z.r.org.")

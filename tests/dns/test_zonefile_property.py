@@ -1,0 +1,70 @@
+"""Property tests: zone-file rendering and parsing are inverse."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, MX, NS, TXT
+from repro.dns.zone import Zone
+from repro.dns.zonefile import parse_zone, render_zone
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+_hostname = st.lists(_label, min_size=2, max_size=4).map(Name)
+_ipv4 = st.integers(min_value=1, max_value=0xDFFFFFFF).map(
+    lambda value: A.from_wire(value.to_bytes(4, "big"))
+)
+_txt_value = st.text(
+    alphabet=st.characters(
+        min_codepoint=32, max_codepoint=126, blacklist_characters='"\\'
+    ),
+    min_size=1,
+    max_size=60,
+).map(lambda value: TXT((value,)))
+_rdata = st.one_of(
+    _ipv4,
+    _txt_value,
+    _hostname.map(NS),
+    st.tuples(st.integers(0, 100), _hostname).map(
+        lambda pair: MX(pair[0], pair[1])
+    ),
+)
+
+
+@st.composite
+def zones(draw):
+    origin = draw(_hostname)
+    zone = Zone(origin)
+    count = draw(st.integers(min_value=1, max_value=8))
+    for _ in range(count):
+        sub = draw(_label)
+        rdata = draw(_rdata)
+        ttl = draw(st.integers(min_value=1, max_value=86400))
+        try:
+            zone.add(origin.prepend(sub), rdata, ttl)
+        except Exception:
+            pass  # CNAME-style conflicts can't happen with these types
+    if not len(zone):
+        zone.add(origin, A("192.0.2.1"))
+    return zone
+
+
+@given(zones())
+@settings(max_examples=100, deadline=None)
+def test_render_parse_roundtrip(zone):
+    clone = parse_zone(render_zone(zone))
+    assert clone.origin == zone.origin
+    assert len(clone) == len(zone)
+    original = {
+        (record.owner, record.rrtype, record.rdata, record.ttl)
+        for record in zone.records()
+    }
+    parsed = {
+        (record.owner, record.rrtype, record.rdata, record.ttl)
+        for record in clone.records()
+    }
+    assert parsed == original
+
+
+@given(zones())
+@settings(max_examples=50, deadline=None)
+def test_render_is_deterministic(zone):
+    assert render_zone(zone) == render_zone(zone)

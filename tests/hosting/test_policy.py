@@ -1,0 +1,65 @@
+"""Tests for repro.hosting.policy."""
+
+import pytest
+
+from repro.hosting.policy import (
+    HostingPolicy,
+    NsAllocation,
+    VerificationMode,
+)
+
+
+class TestVerificationMode:
+    def test_permissive_modes_allow_urs(self):
+        assert not VerificationMode.NONE.blocks_urs
+        assert not VerificationMode.NOTIFY_ONLY.blocks_urs
+
+    def test_mitigations_block_urs(self):
+        assert VerificationMode.REQUIRE_DELEGATION.blocks_urs
+        assert VerificationMode.REQUIRE_TXT_CHALLENGE.blocks_urs
+
+
+class TestPolicyValidation:
+    def test_default_policy_is_permissive(self):
+        policy = HostingPolicy()
+        assert policy.hosts_without_verification
+        assert policy.ns_allocation is NsAllocation.GLOBAL_FIXED
+
+    def test_pool_must_cover_allocation(self):
+        with pytest.raises(ValueError):
+            HostingPolicy(nameservers_per_zone=4, pool_size=2)
+
+    def test_at_least_one_nameserver(self):
+        with pytest.raises(ValueError):
+            HostingPolicy(nameservers_per_zone=0, pool_size=2)
+
+    def test_blocking_verification_flips_table2_column(self):
+        policy = HostingPolicy(
+            verification=VerificationMode.REQUIRE_DELEGATION
+        )
+        assert not policy.hosts_without_verification
+
+
+class TestReservedList:
+    def test_exact_match(self):
+        policy = HostingPolicy(reserved=frozenset({"google.com"}))
+        assert policy.is_reserved("google.com")
+
+    def test_subdomain_of_reserved(self):
+        policy = HostingPolicy(reserved=frozenset({"google.com"}))
+        assert policy.is_reserved("mail.google.com")
+
+    def test_unrelated_domain(self):
+        policy = HostingPolicy(reserved=frozenset({"google.com"}))
+        assert not policy.is_reserved("example.com")
+
+    def test_similar_name_not_reserved(self):
+        policy = HostingPolicy(reserved=frozenset({"google.com"}))
+        assert not policy.is_reserved("notgoogle.com")
+
+    def test_empty_reserved(self):
+        assert not HostingPolicy().is_reserved("google.com")
+
+    def test_case_insensitive(self):
+        policy = HostingPolicy(reserved=frozenset({"google.com"}))
+        assert policy.is_reserved("GOOGLE.COM")

@@ -1,0 +1,128 @@
+"""Edge-case tests for the hosting provider: allocation wrap-around,
+eTLD namespace shadowing, and the Amazon exhaustion attack end to end."""
+
+import random
+
+import pytest
+
+from repro.dns.message import Message, Rcode
+from repro.dns.rdata import RRType
+from repro.hosting.policy import HostingPolicy, NsAllocation
+from repro.hosting.provider import HostingError, HostingProvider
+from repro.net.address import PrefixPlanner
+from repro.net.network import SimulatedInternet
+
+
+def make_provider(policy, provider_name="EdgeHost"):
+    network = SimulatedInternet()
+    planner = PrefixPlanner()
+    provider = HostingProvider(
+        provider_name,
+        policy,
+        network,
+        planner.pool(provider_name),
+        rng=random.Random(8),
+    )
+    return network, provider
+
+
+class TestAccountFixedWraparound:
+    def test_many_accounts_reuse_pool_cyclically(self):
+        _, provider = make_provider(
+            HostingPolicy(
+                ns_allocation=NsAllocation.ACCOUNT_FIXED,
+                nameservers_per_zone=2,
+                pool_size=4,
+            )
+        )
+        accounts = [provider.create_account() for _ in range(6)]
+        sets = [
+            tuple(
+                entry.address for entry in account.fixed_nameservers
+            )
+            for account in accounts
+        ]
+        # With a pool of 4 and pairs of 2, sets repeat with period 2.
+        assert sets[0] == sets[2] == sets[4]
+        assert sets[1] == sets[3] == sets[5]
+        assert sets[0] != sets[1]
+
+
+class TestEtldShadowing:
+    def test_etld_zone_answers_for_every_child(self):
+        """Hosting gov.cn lets the attacker answer for *any* name under
+        it — the government-namespace shadowing Appendix C warns about."""
+        network, provider = make_provider(HostingPolicy(allows_etld=True))
+        hosted = provider.host_zone(
+            provider.create_account(), "gov.cn", is_registered=True
+        )
+        provider.add_record(hosted, "*.gov.cn", "A", "203.0.113.66")
+        response = network.query_dns(
+            "10.9.9.9",
+            hosted.nameserver_addresses()[0],
+            Message.make_query(
+                "portal.beijing.gov.cn", RRType.A, recursion_desired=False
+            ),
+        )
+        assert response.header.rcode == Rcode.NOERROR
+        assert response.answers[0].rdata.address == "203.0.113.66"
+
+
+class TestAmazonExhaustionAttack:
+    def test_api_loop_starves_legitimate_owner(self):
+        """Appendix C: an attacker repeatedly hosting the same domain via
+        the API exhausts the random pool; afterwards even the legitimate
+        owner cannot create a zone."""
+        _, provider = make_provider(
+            HostingPolicy(
+                ns_allocation=NsAllocation.RANDOM,
+                nameservers_per_zone=4,
+                pool_size=12,
+                duplicates_single_user=True,
+                duplicates_cross_user=True,
+                exhaustible_pool=True,
+            )
+        )
+        attacker = provider.create_account()
+        created = 0
+        while True:
+            try:
+                provider.host_zone(
+                    attacker, "victim.com", is_registered=True
+                )
+                created += 1
+            except HostingError:
+                break
+        assert created == 3  # 12-server pool / 4 per zone
+        owner = provider.create_account()
+        with pytest.raises(HostingError):
+            provider.host_zone(owner, "victim.com", is_registered=True)
+
+
+class TestDeleteRestoresEarlierZone:
+    def test_contested_server_falls_back_after_delete(self):
+        network, provider = make_provider(
+            HostingPolicy(
+                ns_allocation=NsAllocation.GLOBAL_FIXED,
+                nameservers_per_zone=2,
+                pool_size=2,
+                duplicates_cross_user=True,
+            )
+        )
+        first = provider.host_zone(
+            provider.create_account(), "victim.com", is_registered=True
+        )
+        provider.add_record(first, "victim.com", "A", "1.1.1.1")
+        second = provider.host_zone(
+            provider.create_account(), "victim.com", is_registered=True
+        )
+        provider.add_record(second, "victim.com", "A", "2.2.2.2")
+        # Global-fixed: the second zone shadowed the first on the shared
+        # servers; deleting it must bring the first back.
+        provider.delete_zone(second)
+        response = network.query_dns(
+            "10.9.9.9",
+            first.nameserver_addresses()[0],
+            Message.make_query("victim.com", RRType.A),
+        )
+        assert response.answers[0].rdata.address == "1.1.1.1"

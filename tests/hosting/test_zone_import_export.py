@@ -1,0 +1,103 @@
+"""Tests for provider zone import/export (portal upload/download)."""
+
+import random
+
+import pytest
+
+from repro.dns.message import Message, Rcode
+from repro.dns.rdata import RRType
+from repro.dns.zonefile import ZoneFileError
+from repro.hosting.policy import HostingPolicy
+from repro.hosting.provider import HostingError, HostingProvider
+from repro.net.address import PrefixPlanner
+from repro.net.network import SimulatedInternet
+
+
+@pytest.fixture
+def provider():
+    network = SimulatedInternet()
+    planner = PrefixPlanner()
+    built = HostingProvider(
+        "PortalHost",
+        HostingPolicy(allows_subdomains=True),
+        network,
+        planner.pool("portal"),
+        rng=random.Random(4),
+    )
+    return network, built
+
+
+UPLOAD = """\
+$ORIGIN victim.com.
+$TTL 120
+@ IN A 203.0.113.9
+www IN CNAME victim.com.
+@ IN TXT "v=spf1 ip4:203.0.113.9 -all"
+; the provider must ignore these:
+@ IN NS ns1.attacker-controlled.net.
+@ IN SOA ns1.attacker-controlled.net. evil.attacker.net. 1 2 3 4 5
+"""
+
+
+class TestImport:
+    def test_records_imported_and_served(self, provider):
+        network, host = provider
+        account = host.create_account()
+        hosted = host.import_zone(account, UPLOAD, is_registered=True)
+        response = network.query_dns(
+            "10.9.9.9",
+            hosted.nameserver_addresses()[0],
+            Message.make_query("victim.com", RRType.A),
+        )
+        assert response.answers[0].rdata.address == "203.0.113.9"
+
+    def test_file_ttls_preserved(self, provider):
+        _, host = provider
+        hosted = host.import_zone(
+            host.create_account(), UPLOAD, is_registered=True
+        )
+        (a_record,) = hosted.zone.rrset("victim.com", RRType.A)
+        assert a_record.ttl == 120
+
+    def test_soa_and_ns_from_file_ignored(self, provider):
+        _, host = provider
+        hosted = host.import_zone(
+            host.create_account(), UPLOAD, is_registered=True
+        )
+        ns_targets = [str(target) for target in hosted.zone.nameserver_targets()]
+        assert all("attacker" not in target for target in ns_targets)
+        (soa,) = hosted.zone.rrset("victim.com", RRType.SOA)
+        assert "attacker" not in soa.rdata.mname.to_text()
+
+    def test_policy_still_enforced(self, provider):
+        _, host = provider
+        upload = "$ORIGIN brand-new.org.\n@ IN A 1.2.3.4\n"
+        with pytest.raises(HostingError):
+            host.import_zone(
+                host.create_account(), upload, is_registered=False
+            )
+
+    def test_bad_file_rejected(self, provider):
+        _, host = provider
+        with pytest.raises(ZoneFileError):
+            host.import_zone(host.create_account(), "@ IN A 1.2.3.4\n")
+
+
+class TestExport:
+    def test_export_roundtrips_through_import(self, provider):
+        _, host = provider
+        account = host.create_account()
+        hosted = host.host_zone(account, "victim.com", is_registered=True)
+        host.add_record(hosted, "victim.com", "A", "203.0.113.9")
+        host.add_record(hosted, "www.victim.com", "A", "203.0.113.9")
+        exported = host.export_zone(hosted)
+        assert "$ORIGIN victim.com." in exported
+        assert "203.0.113.9" in exported
+
+        other_account = host.create_account()
+        clone = host.import_zone(
+            other_account,
+            exported.replace("victim.com", "victim-copy.com"),
+            is_registered=True,
+        )
+        assert clone.zone.rrset("victim-copy.com", RRType.A)

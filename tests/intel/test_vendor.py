@@ -1,0 +1,107 @@
+"""Tests for repro.intel.vendor and repro.intel.aggregator."""
+
+import pytest
+
+from repro.intel.aggregator import ThreatIntelAggregator
+from repro.intel.vendor import (
+    IntelTag,
+    SecurityVendor,
+    default_vendor_fleet,
+)
+
+
+class TestSecurityVendor:
+    def test_flag_and_query(self):
+        vendor = SecurityVendor("VT")
+        vendor.flag("6.6.6.6", [IntelTag.TROJAN])
+        assert vendor.is_malicious("6.6.6.6")
+        assert vendor.tags("6.6.6.6") == {IntelTag.TROJAN}
+
+    def test_unflagged_address(self):
+        vendor = SecurityVendor("VT")
+        assert not vendor.is_malicious("1.1.1.1")
+        assert vendor.tags("1.1.1.1") == frozenset()
+
+    def test_tags_merge_on_reflag(self):
+        vendor = SecurityVendor("VT")
+        vendor.flag("6.6.6.6", [IntelTag.TROJAN])
+        vendor.flag("6.6.6.6", [IntelTag.CC])
+        assert vendor.tags("6.6.6.6") == {IntelTag.TROJAN, IntelTag.CC}
+
+    def test_first_seen_preserved(self):
+        vendor = SecurityVendor("VT")
+        vendor.flag("6.6.6.6", timestamp=100.0)
+        vendor.flag("6.6.6.6", timestamp=200.0)
+        assert vendor.verdict("6.6.6.6").first_seen == 100.0
+
+    def test_clear_delists(self):
+        vendor = SecurityVendor("VT")
+        vendor.flag("6.6.6.6")
+        vendor.clear("6.6.6.6")
+        assert not vendor.is_malicious("6.6.6.6")
+
+    def test_blacklist_and_len(self):
+        vendor = SecurityVendor("VT")
+        vendor.flag("6.6.6.6")
+        vendor.flag("7.7.7.7")
+        assert set(vendor.blacklist()) == {"6.6.6.6", "7.7.7.7"}
+        assert len(vendor) == 2
+
+
+class TestDefaultFleet:
+    def test_named_vendors_first(self):
+        fleet = default_vendor_fleet(5)
+        assert [vendor.name for vendor in fleet[:3]] == [
+            "VirusTotal",
+            "QAX",
+            "360 Security",
+        ]
+        assert len(fleet) == 5
+
+    def test_small_fleet(self):
+        fleet = default_vendor_fleet(2)
+        assert [vendor.name for vendor in fleet] == ["VirusTotal", "QAX"]
+
+
+class TestAggregator:
+    @pytest.fixture
+    def fleet(self):
+        fleet = default_vendor_fleet(4)
+        fleet[0].flag("6.6.6.6", [IntelTag.TROJAN])
+        fleet[1].flag("6.6.6.6", [IntelTag.BOTNET])
+        fleet[2].flag("7.7.7.7", [IntelTag.SCANNER])
+        return fleet
+
+    def test_requires_vendors(self):
+        with pytest.raises(ValueError):
+            ThreatIntelAggregator([])
+
+    def test_report_merges_tags(self, fleet):
+        aggregator = ThreatIntelAggregator(fleet)
+        report = aggregator.report("6.6.6.6")
+        assert report.is_malicious
+        assert report.vendor_count == 2
+        assert report.tags == {IntelTag.TROJAN, IntelTag.BOTNET}
+        assert report.flagging_vendors == {"VirusTotal", "QAX"}
+
+    def test_clean_address(self, fleet):
+        aggregator = ThreatIntelAggregator(fleet)
+        report = aggregator.report("9.9.9.9")
+        assert not report.is_malicious
+        assert report.vendor_count == 0
+
+    def test_is_flagged_and_count(self, fleet):
+        aggregator = ThreatIntelAggregator(fleet)
+        assert aggregator.is_flagged("7.7.7.7")
+        assert aggregator.vendor_count("7.7.7.7") == 1
+        assert not aggregator.is_flagged("9.9.9.9")
+
+    def test_union_blacklist(self, fleet):
+        aggregator = ThreatIntelAggregator(fleet)
+        assert set(aggregator.union_blacklist()) == {"6.6.6.6", "7.7.7.7"}
+
+    def test_bulk_report(self, fleet):
+        aggregator = ThreatIntelAggregator(fleet)
+        reports = aggregator.bulk_report(["6.6.6.6", "9.9.9.9"])
+        assert reports["6.6.6.6"].is_malicious
+        assert not reports["9.9.9.9"].is_malicious

@@ -1,0 +1,98 @@
+"""Tests for UDP truncation and TCP fallback."""
+
+import pytest
+
+from repro.dns.message import Message, Rcode
+from repro.dns.rdata import RRType, TXT
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.net.network import MAX_UDP_PAYLOAD, SimulatedInternet
+
+
+@pytest.fixture
+def big_zone_network():
+    """A zone whose TXT RRset cannot fit a 512-byte UDP response."""
+    network = SimulatedInternet()
+    zone = Zone("big.example")
+    for index in range(6):
+        zone.add(
+            "big.example", TXT.from_value(f"{index:02d}-" + "x" * 200)
+        )
+    server = AuthoritativeServer("ns1.big.example")
+    server.load_zone(zone)
+    network.register_dns_host("10.0.0.1", server)
+    return network
+
+
+def _query():
+    return Message.make_query(
+        "big.example", RRType.TXT, recursion_desired=False
+    )
+
+
+class TestTruncation:
+    def test_udp_response_truncated(self, big_zone_network):
+        response = big_zone_network.query_dns(
+            "10.9.9.9", "10.0.0.1", _query(), transport="udp"
+        )
+        assert response.header.truncated
+        assert response.answers == []
+        assert response.header.rcode == Rcode.NOERROR
+
+    def test_tcp_carries_full_response(self, big_zone_network):
+        response = big_zone_network.query_dns(
+            "10.9.9.9", "10.0.0.1", _query(), transport="tcp"
+        )
+        assert not response.header.truncated
+        assert len(response.answers) == 6
+
+    def test_auto_retries_over_tcp(self, big_zone_network):
+        response = big_zone_network.query_dns_auto(
+            "10.9.9.9", "10.0.0.1", _query()
+        )
+        assert not response.header.truncated
+        assert len(response.answers) == 6
+
+    def test_truncation_counted(self, big_zone_network):
+        big_zone_network.query_dns_auto("10.9.9.9", "10.0.0.1", _query())
+        assert big_zone_network.stats["truncated_responses"] == 1
+        # auto made two queries: the truncated UDP one and the TCP retry.
+        assert big_zone_network.stats["dns_queries"] == 2
+
+    def test_small_responses_unaffected(self, big_zone_network):
+        query = Message.make_query(
+            "big.example", RRType.SOA, recursion_desired=False
+        )
+        response = big_zone_network.query_dns(
+            "10.9.9.9", "10.0.0.1", query, transport="udp"
+        )
+        assert not response.header.truncated
+
+    def test_unknown_transport_rejected(self, big_zone_network):
+        with pytest.raises(ValueError):
+            big_zone_network.query_dns(
+                "10.9.9.9", "10.0.0.1", _query(), transport="quic"
+            )
+
+    def test_threshold_is_rfc1035(self):
+        assert MAX_UDP_PAYLOAD == 512
+
+
+class TestPipelineWithBigRecords:
+    def test_collector_retrieves_truncated_urs(self, big_zone_network):
+        """Stage 1 must not lose URs behind UDP truncation."""
+        from repro.core.collector import (
+            DomainTarget,
+            NameserverTarget,
+            ResponseCollector,
+        )
+        from repro.dns.name import name
+
+        collector = ResponseCollector(big_zone_network)
+        urs, responses, queries, timeouts = collector.collect_urs(
+            [NameserverTarget("10.0.0.1", "BigHost")],
+            [DomainTarget(name("big.example"), 1)],
+            {},
+        )
+        txt_urs = [record for record in urs if record.rrtype == RRType.TXT]
+        assert len(txt_urs) == 6

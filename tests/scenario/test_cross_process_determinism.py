@@ -1,0 +1,55 @@
+"""Cross-process determinism: a seed must give identical results in a
+fresh interpreter.
+
+This guards against the bug class where in-process determinism tests
+pass but results differ between runs — e.g. salted ``hash()`` on
+strings, dict-order dependence on ids, or wall-clock leakage.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+_SCRIPT = """
+import json
+from repro.scenario import small_config, build_world
+from repro.core import URHunter
+
+world = build_world(small_config(seed=19))
+report = URHunter.from_world(world).run(validate=False)
+fingerprint = {
+    "counts": report.category_counts(),
+    "keys": sorted(
+        f"{entry.record.domain}|{entry.record.nameserver_ip}|"
+        f"{entry.record.rrtype}|{entry.record.rdata_text}|"
+        f"{entry.category.value}"
+        for entry in report.classified
+    )[:50],
+    "malicious_ips": sorted(
+        verdict.address
+        for verdict in report.ip_verdicts.values()
+        if verdict.is_malicious
+    ),
+}
+print(json.dumps(fingerprint, sort_keys=True))
+"""
+
+
+def _run_fresh_interpreter() -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+@pytest.mark.slow
+def test_identical_results_across_processes():
+    first = _run_fresh_interpreter()
+    second = _run_fresh_interpreter()
+    assert first == second
+    assert first  # non-empty fingerprint

@@ -1,0 +1,113 @@
+"""Tests comparing URs with the related attacks of paper §2/§3."""
+
+import random
+
+import pytest
+
+from repro.dns.resolver import RecursiveResolver
+from repro.hosting import DnsRoot, make_amazon, make_godaddy
+from repro.net import PrefixPlanner, SimulatedInternet
+from repro.scenario.related import (
+    attempt_dangling_takeover,
+    create_dangling_delegation,
+    resolves_to,
+    shadow_domain,
+)
+
+ATTACKER_IP = "203.0.113.66"
+LEGIT_IP = "198.51.100.10"
+
+
+@pytest.fixture
+def env():
+    network = SimulatedInternet()
+    root = DnsRoot(network)
+    planner = PrefixPlanner()
+    godaddy = make_godaddy(network, planner.pool("gd"))
+    amazon = make_amazon(network, planner.pool("aws"))
+    for provider in (godaddy, amazon):
+        root.connect_provider(provider)
+    resolver = RecursiveResolver("9.9.9.9", network, root.root_addresses)
+    return network, root, godaddy, amazon, resolver
+
+
+class TestDanglingTakeover:
+    def test_global_fixed_provider_full_hijack(self, env):
+        network, root, godaddy, _, resolver = env
+        create_dangling_delegation(root, godaddy, "abandoned.com")
+        result = attempt_dangling_takeover(
+            root, godaddy, "abandoned.com", ATTACKER_IP
+        )
+        assert result.succeeded
+        assert result.hijacks_normal_resolution
+        # Unlike a UR, the hijack is visible in ordinary resolution.
+        assert resolves_to(resolver, "abandoned.com", ATTACKER_IP)
+
+    def test_random_pool_provider_may_miss(self, env):
+        network, root, _, amazon, resolver = env
+        create_dangling_delegation(root, amazon, "abandoned.org")
+        result = attempt_dangling_takeover(
+            root, amazon, "abandoned.org", ATTACKER_IP
+        )
+        assert result.succeeded
+        # With 4-of-40 random allocation, landing on the delegated set is
+        # unlikely in one shot; the flag reports whichever happened.
+        delegated = set(root.delegated_addresses("abandoned.org"))
+        serving = set(result.attacker_zone.nameserver_addresses())
+        assert result.hijacks_normal_resolution == bool(
+            delegated & serving
+        )
+
+    def test_requires_stale_state_urs_do_not(self, env):
+        """The UR contrast: a healthy delegation cannot be taken over —
+        but a UR for the same domain works regardless."""
+        network, root, godaddy, amazon, resolver = env
+        owner = godaddy.create_account()
+        healthy = godaddy.host_zone(owner, "healthy.com", is_registered=True)
+        godaddy.add_record(healthy, "healthy.com", "A", LEGIT_IP)
+        root.register("healthy.com", "owner")
+        root.delegate(
+            "healthy.com", godaddy.nameserver_set_for_delegation(healthy)
+        )
+        # Takeover at the same provider fails (no duplicates).
+        result = attempt_dangling_takeover(
+            root, godaddy, "healthy.com", ATTACKER_IP
+        )
+        assert not result.succeeded
+        # The UR at a *different* provider succeeds without any stale
+        # state, and normal resolution is untouched.
+        ur_zone = amazon.host_zone(
+            amazon.create_account(), "healthy.com", is_registered=True
+        )
+        amazon.add_record(ur_zone, "healthy.com", "A", ATTACKER_IP)
+        assert resolves_to(resolver, "healthy.com", LEGIT_IP)
+        assert not resolves_to(resolver, "healthy.com", ATTACKER_IP)
+        # ...yet the attacker's nameserver serves the UR on request.
+        from repro.dns.message import Message
+        from repro.dns.rdata import RRType
+
+        response = network.query_dns(
+            "10.9.9.9",
+            ur_zone.nameserver_addresses()[0],
+            Message.make_query("healthy.com", RRType.A),
+        )
+        assert response.answers[0].rdata.address == ATTACKER_IP
+
+
+class TestDomainShadowing:
+    def test_shadow_resolves_through_normal_recursion(self, env):
+        network, root, godaddy, _, resolver = env
+        owner = godaddy.create_account()
+        hosted = godaddy.host_zone(owner, "victim.net", is_registered=True)
+        godaddy.add_record(hosted, "victim.net", "A", LEGIT_IP)
+        root.register("victim.net", "owner")
+        root.delegate(
+            "victim.net", godaddy.nameserver_set_for_delegation(hosted)
+        )
+        shadowed = shadow_domain(hosted, "cdn-x9k2", ATTACKER_IP)
+        assert str(shadowed.shadow) == "cdn-x9k2.victim.net"
+        # The shadow rides the legitimate delegation — visible to anyone
+        # resolving it, unlike a UR.
+        assert resolves_to(resolver, "cdn-x9k2.victim.net", ATTACKER_IP)
+        # The apex is untouched.
+        assert resolves_to(resolver, "victim.net", LEGIT_IP)
