@@ -37,6 +37,7 @@ from .analysis import (
     overview_funnel,
 )
 from .core import HunterConfig, URHunter
+from .engine import DEFAULT_ENGINE, ENGINE_REGISTRY
 from .defense import evaluate_defenses
 from .dns.rdata import RRType
 from .hosting import TABLE2_PROVIDERS
@@ -86,6 +87,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also sweep MX records (the paper's future-work extension)",
     )
+    engine = parser.add_argument_group(
+        "scan engine", "stage-1 collection scheduling and fault tolerance"
+    )
+    engine.add_argument(
+        "--engine",
+        choices=sorted(ENGINE_REGISTRY),
+        default=DEFAULT_ENGINE,
+        help=f"query engine driving stage 1 (default: {DEFAULT_ENGINE})",
+    )
+    engine.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="worker lanes the batched engine keeps in flight (default 8)",
+    )
+    engine.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-sends after a query times out (default 2)",
+    )
+    engine.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="virtual seconds before a query is declared lost (default 5)",
+    )
+    engine.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "inject uniform query loss with probability P in [0, 1) "
+            "(deterministic per --seed; default 0, no loss)"
+        ),
+    )
     parser.add_argument(
         "command",
         choices=(
@@ -109,7 +150,12 @@ def _scenario(args: argparse.Namespace) -> ScenarioConfig:
 
 
 def _hunter_config(args: argparse.Namespace) -> HunterConfig:
-    config = HunterConfig()
+    config = HunterConfig(
+        engine=args.engine,
+        max_concurrency=args.max_concurrency,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
     if args.mx:
         config.query_types = (RRType.A, RRType.TXT, RRType.MX)
     return config
@@ -117,12 +163,29 @@ def _hunter_config(args: argparse.Namespace) -> HunterConfig:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        hunter_config = _hunter_config(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(
         f"# scenario: scale={args.scale} seed={args.seed} "
-        f"post_disclosure={args.post_disclosure} mx={args.mx}",
+        f"post_disclosure={args.post_disclosure} mx={args.mx} "
+        f"engine={args.engine} loss_rate={args.loss_rate}",
         file=sys.stderr,
     )
     world = build_world(_scenario(args))
+    if args.loss_rate:
+        if not 0.0 <= args.loss_rate < 1.0:
+            print(
+                f"error: --loss-rate must be in [0, 1), "
+                f"got {args.loss_rate}",
+                file=sys.stderr,
+            )
+            return 2
+        world.network.inject_faults(
+            loss_rate=args.loss_rate, seed=args.seed
+        )
 
     if args.command == "table2":
         table = build_table2(
@@ -131,7 +194,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(table.text)
         return 0
 
-    hunter = URHunter.from_world(world, _hunter_config(args))
+    hunter = URHunter.from_world(world, hunter_config)
     needs_validation = args.command in ("run", "validate")
     report = hunter.run(validate=needs_validation)
 

@@ -22,7 +22,12 @@ from .correctness import (
     DomainProfile,
     UniformityChecker,
 )
-from .hunter import HunterConfig, URHunter, recover_pdns_subdomains
+from .hunter import (
+    HunterConfig,
+    URHunter,
+    WorldLike,
+    recover_pdns_subdomains,
+)
 from .longitudinal import (
     LongitudinalStudy,
     ReportDiff,
@@ -79,6 +84,7 @@ __all__ = [
     "URHunter",
     "UndelegatedRecord",
     "UniformityChecker",
+    "WorldLike",
     "classify_txt",
     "dedupe_urs",
     "diff_reports",

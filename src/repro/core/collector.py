@@ -12,6 +12,12 @@ Three collections feed the pipeline:
    nowhere) is queried at every target nameserver; whatever comes back is
    that server's protective-record fingerprint.
 
+The collector only *builds* the query matrix and *interprets* responses;
+scheduling, pacing, retries, and failure accounting are delegated to a
+:class:`~repro.engine.api.QueryEngine` (see :mod:`repro.engine`), so a
+naive sequential scanner and the batched sharded scanner are
+interchangeable.
+
 Ethics controls from Appendix A are implemented: queries are issued in a
 randomized order and rate-limited per server against the virtual clock.
 """
@@ -19,12 +25,31 @@ randomized order and rate-limited per server against the virtual clock.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..dns.message import Message, Rcode
 from ..dns.name import Name, name
 from ..dns.rdata import A, MX, TXT, RRType
+from ..engine import (
+    DEFAULT_ENGINE,
+    EnginePolicy,
+    QueryEngine,
+    QueryOutcome,
+    QueryTask,
+    ScanMetrics,
+    create_engine,
+)
 from ..net.network import NetworkError, SimulatedInternet
 from .correctness import CorrectRecordDatabase
 from .records import UndelegatedRecord, dedupe_urs
@@ -64,14 +89,51 @@ class ProtectiveFingerprint:
 
 @dataclass
 class CollectionResult:
-    """Everything stage 1 produced."""
+    """Everything stage 1 produced.
 
-    undelegated: List[UndelegatedRecord]
-    correct_db: CorrectRecordDatabase
-    protective: Dict[str, ProtectiveFingerprint]
+    Returned by :meth:`ResponseCollector.collect_urs` (UR fields and
+    counters populated) and :meth:`ResponseCollector.collect_all`
+    (protective fingerprints, the correct-record database, and the scan
+    metrics folded in as well).
+
+    Iterating unpacks the legacy ``(undelegated, responses_seen,
+    queries_sent, timeouts)`` 4-tuple that ``collect_urs`` used to
+    return; the shim warns and will be removed next release.
+    """
+
+    undelegated: List[UndelegatedRecord] = field(default_factory=list)
+    correct_db: Optional[CorrectRecordDatabase] = None
+    protective: Dict[str, ProtectiveFingerprint] = field(
+        default_factory=dict
+    )
     responses_seen: int = 0
     queries_sent: int = 0
     timeouts: int = 0
+    #: successful responses folded into ``correct_db`` by collect_all
+    correct_successes: int = 0
+    #: engine observability for the whole collection run
+    metrics: Optional[ScanMetrics] = None
+
+    def legacy_tuple(
+        self,
+    ) -> Tuple[List[UndelegatedRecord], int, int, int]:
+        """The pre-engine return shape of ``collect_urs``."""
+        return (
+            self.undelegated,
+            self.responses_seen,
+            self.queries_sent,
+            self.timeouts,
+        )
+
+    def __iter__(self) -> Iterator[object]:
+        warnings.warn(
+            "unpacking CollectionResult as a 4-tuple is deprecated; "
+            "use the named fields (undelegated, responses_seen, "
+            "queries_sent, timeouts) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return iter(self.legacy_tuple())
 
 
 #: the record types the paper measures; MX is the §6 future-work
@@ -80,10 +142,34 @@ class CollectionResult:
 DEFAULT_QUERY_TYPES = (RRType.A, RRType.TXT)
 
 
-class ResponseCollector:
-    """Drives stage 1 against the simulated internet."""
+class _QueryTypesAlias:
+    """Deprecated ``QUERY_TYPES`` alias that tracks instance overrides.
 
-    QUERY_TYPES = DEFAULT_QUERY_TYPES  # kept for backward compatibility
+    Historically a plain class attribute, it silently disagreed with a
+    ``query_types`` constructor override; now class access yields the
+    defaults and instance access yields the live configuration.
+    """
+
+    def __get__(
+        self,
+        instance: Optional["ResponseCollector"],
+        owner: Optional[type] = None,
+    ) -> Tuple[int, ...]:
+        if instance is None:
+            return DEFAULT_QUERY_TYPES
+        warnings.warn(
+            "ResponseCollector.QUERY_TYPES is deprecated; read "
+            "collector.query_types instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return instance.query_types
+
+
+class ResponseCollector:
+    """Builds the stage-1 query matrix and interprets the responses."""
+
+    QUERY_TYPES = _QueryTypesAlias()
 
     def __init__(
         self,
@@ -92,6 +178,9 @@ class ResponseCollector:
         rng: Optional[random.Random] = None,
         per_server_interval: float = 0.0,
         query_types: Sequence[int] = DEFAULT_QUERY_TYPES,
+        engine: Optional[QueryEngine] = None,
+        policy: Optional[EnginePolicy] = None,
+        engine_name: str = DEFAULT_ENGINE,
     ):
         self.network = network
         self.scanner_ip = scanner_ip
@@ -100,7 +189,47 @@ class ResponseCollector:
         #: (the paper averaged one query per server per 130 s)
         self.per_server_interval = per_server_interval
         self.query_types = tuple(query_types)
+        if engine is None:
+            if policy is None:
+                policy = EnginePolicy(
+                    per_server_interval=per_server_interval
+                )
+            engine = create_engine(
+                engine_name, network, scanner_ip, policy=policy
+            )
+        self.engine: QueryEngine = engine
         network.register_stub(scanner_ip)
+
+    # -- the whole of stage 1 ---------------------------------------------
+
+    def collect_all(
+        self,
+        nameservers: Sequence[NameserverTarget],
+        domains: Sequence[DomainTarget],
+        delegated_to: Dict[Name, Set[str]],
+        open_resolver_ips: Sequence[str],
+        correct_db: CorrectRecordDatabase,
+        probe_domain: Union[str, Name] = "urhunter-probe-owned.net",
+    ) -> CollectionResult:
+        """Run all three stage-1 collections through the engine.
+
+        Order matches the paper's §4.1 narrative (protective → correct →
+        UR scan); the engine keeps one metrics object across the three
+        so the report sees the full scan accounting.
+        """
+        self.engine.metrics = ScanMetrics()
+        protective = self.collect_protective_records(
+            nameservers, probe_domain
+        )
+        successes = self.collect_correct_records(
+            domains, open_resolver_ips, correct_db
+        )
+        result = self.collect_urs(nameservers, domains, delegated_to)
+        result.protective = protective
+        result.correct_db = correct_db
+        result.correct_successes = successes
+        result.metrics = self.engine.metrics
+        return result
 
     # -- undelegated records ----------------------------------------------
 
@@ -109,44 +238,53 @@ class ResponseCollector:
         nameservers: Sequence[NameserverTarget],
         domains: Sequence[DomainTarget],
         delegated_to: Dict[Name, Set[str]],
-    ) -> Tuple[List[UndelegatedRecord], int, int, int]:
+    ) -> CollectionResult:
         """Query every nameserver for every non-delegated domain.
 
         ``delegated_to`` maps each domain to the nameserver addresses it
         is genuinely delegated to; those pairs are skipped ("excludes the
         domains exactly delegated to the nameserver").
 
-        Returns (unique URs, responses seen, queries sent, timeouts).
+        Returns a :class:`CollectionResult` with the unique URs and the
+        wire counters (the legacy 4-tuple unpacking still works, with a
+        deprecation warning).
         """
-        pairs = [
-            (nameserver, target)
-            for nameserver in nameservers
-            for target in domains
-            if nameserver.address not in delegated_to.get(target.domain, set())
-        ]
-        self.rng.shuffle(pairs)  # ethics: randomized query order
+        tasks: List[QueryTask] = []
+        for nameserver in nameservers:
+            for target in domains:
+                if nameserver.address in delegated_to.get(
+                    target.domain, set()
+                ):
+                    continue
+                for qtype in self.query_types:
+                    tasks.append(
+                        QueryTask(
+                            server_ip=nameserver.address,
+                            qname=target.domain,
+                            qtype=qtype,
+                            stage="ur",
+                            tag=nameserver,
+                        )
+                    )
+        self.rng.shuffle(tasks)  # ethics: randomized query order
+        outcomes = self.engine.execute(tasks)
         collected: List[UndelegatedRecord] = []
-        responses = 0
-        queries = 0
-        timeouts = 0
-        last_query_at: Dict[str, float] = {}
-        for nameserver, target in pairs:
-            for qtype in self.query_types:
-                self._rate_limit(nameserver.address, last_query_at)
-                queries += 1
-                response = self._query(
-                    nameserver.address, target.domain, qtype
+        for outcome in outcomes:
+            response = outcome.response
+            if response is None:
+                continue
+            if response.header.rcode != Rcode.NOERROR:
+                continue
+            nameserver = outcome.task.tag
+            assert isinstance(nameserver, NameserverTarget)
+            collected.extend(
+                self._extract_urs(
+                    nameserver, outcome.task.qname, response
                 )
-                if response is None:
-                    timeouts += 1
-                    continue
-                responses += 1
-                if response.header.rcode != Rcode.NOERROR:
-                    continue
-                collected.extend(
-                    self._extract_urs(nameserver, target.domain, response)
-                )
-        return dedupe_urs(collected), responses, queries, timeouts
+            )
+        result = CollectionResult(undelegated=dedupe_urs(collected))
+        _fold_counters(result, outcomes)
+        return result
 
     def _extract_urs(
         self,
@@ -191,37 +329,37 @@ class ResponseCollector:
         database.  Manipulated resolvers contribute noise — exactly the
         imperfection the paper's vantage-point selection tolerates.
         """
-        successes = 0
-        order = list(open_resolver_ips)
-        self.rng.shuffle(order)
-        for resolver_ip in order:
+        tasks: List[QueryTask] = []
+        for resolver_ip in open_resolver_ips:
             for target in domains:
                 for qtype in self.query_types:
-                    query = Message.make_query(
-                        target.domain, qtype, recursion_desired=True
-                    )
-                    try:
-                        response = self.network.query_dns_auto(
-                            self.scanner_ip, resolver_ip, query
+                    tasks.append(
+                        QueryTask(
+                            server_ip=resolver_ip,
+                            qname=target.domain,
+                            qtype=qtype,
+                            stage="correct",
+                            recursion_desired=True,
+                            tag=target,
                         )
-                    except NetworkError:
-                        continue
-                    if response.header.rcode != Rcode.NOERROR:
-                        continue
-                    successes += 1
-                    for answer in response.answers:
-                        if isinstance(answer.rdata, A):
-                            correct_db.observe_a(
-                                target.domain, answer.rdata.address
-                            )
-                        elif isinstance(answer.rdata, TXT):
-                            correct_db.observe_txt(
-                                target.domain, answer.rdata.value
-                            )
-                        elif isinstance(answer.rdata, MX):
-                            correct_db.observe_mx(
-                                target.domain, answer.rdata.to_text()
-                            )
+                    )
+        self.rng.shuffle(tasks)
+        successes = 0
+        for outcome in self.engine.execute(tasks):
+            response = outcome.response
+            if response is None:
+                continue
+            if response.header.rcode != Rcode.NOERROR:
+                continue
+            successes += 1
+            domain = outcome.task.qname
+            for answer in response.answers:
+                if isinstance(answer.rdata, A):
+                    correct_db.observe_a(domain, answer.rdata.address)
+                elif isinstance(answer.rdata, TXT):
+                    correct_db.observe_txt(domain, answer.rdata.value)
+                elif isinstance(answer.rdata, MX):
+                    correct_db.observe_mx(domain, answer.rdata.to_text())
         return successes
 
     # -- protective records ------------------------------------------------------
@@ -237,29 +375,38 @@ class ResponseCollector:
         server gives for it is synthesized protective data.
         """
         probe_domain = name(probe_domain)
-        fingerprints: Dict[str, ProtectiveFingerprint] = {}
-        for nameserver in nameservers:
-            fingerprint = ProtectiveFingerprint(
+        fingerprints: Dict[str, ProtectiveFingerprint] = {
+            nameserver.address: ProtectiveFingerprint(
                 nameserver_ip=nameserver.address
             )
-            for qtype in self.query_types:
-                response = self._query(
-                    nameserver.address, probe_domain, qtype
-                )
-                if response is None:
-                    continue
-                if response.header.rcode != Rcode.NOERROR:
-                    continue
-                for answer in response.answers:
-                    if isinstance(answer.rdata, A):
-                        fingerprint.records.add(
-                            (RRType.A, answer.rdata.address)
-                        )
-                    elif isinstance(answer.rdata, TXT):
-                        fingerprint.records.add(
-                            (RRType.TXT, answer.rdata.value)
-                        )
-            fingerprints[nameserver.address] = fingerprint
+            for nameserver in nameservers
+        }
+        tasks = [
+            QueryTask(
+                server_ip=nameserver.address,
+                qname=probe_domain,
+                qtype=qtype,
+                stage="protective",
+            )
+            for nameserver in nameservers
+            for qtype in self.query_types
+        ]
+        for outcome in self.engine.execute(tasks):
+            response = outcome.response
+            if response is None:
+                continue
+            if response.header.rcode != Rcode.NOERROR:
+                continue
+            fingerprint = fingerprints[outcome.task.server_ip]
+            for answer in response.answers:
+                if isinstance(answer.rdata, A):
+                    fingerprint.records.add(
+                        (RRType.A, answer.rdata.address)
+                    )
+                elif isinstance(answer.rdata, TXT):
+                    fingerprint.records.add(
+                        (RRType.TXT, answer.rdata.value)
+                    )
         return fingerprints
 
     # -- internals -----------------------------------------------------------
@@ -267,22 +414,30 @@ class ResponseCollector:
     def _query(
         self, server_ip: str, domain: Name, qtype: int
     ) -> Optional[Message]:
+        """One ad-hoc query outside the engine (kept for extensions)."""
         query = Message.make_query(domain, qtype, recursion_desired=False)
         try:
-            return self.network.query_dns_auto(self.scanner_ip, server_ip, query)
+            return self.network.query_dns_auto(
+                self.scanner_ip, server_ip, query
+            )
         except NetworkError:
             return None
 
-    def _rate_limit(
-        self, server_ip: str, last_query_at: Dict[str, float]
-    ) -> None:
-        if self.per_server_interval <= 0:
-            return
-        previous = last_query_at.get(server_ip)
-        now = self.network.now
-        if previous is not None and now - previous < self.per_server_interval:
-            self.network.tick(self.per_server_interval - (now - previous))
-        last_query_at[server_ip] = self.network.now
+
+def _fold_counters(
+    result: CollectionResult, outcomes: Sequence[QueryOutcome]
+) -> None:
+    """Translate engine outcomes into the legacy wire counters."""
+    attempts = 0
+    responses = 0
+    for outcome in outcomes:
+        attempts += outcome.attempts
+        if outcome.answered:
+            responses += 1
+    result.queries_sent = attempts
+    result.responses_seen = responses
+    # every sent attempt either produced the answer or timed out
+    result.timeouts = attempts - responses
 
 
 def select_target_nameservers(

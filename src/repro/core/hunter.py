@@ -3,7 +3,9 @@
 Wires the three stages together exactly as §4 describes:
 
 1. :class:`~repro.core.collector.ResponseCollector` gathers URs, correct
-   records (open resolvers + passive DNS) and protective fingerprints;
+   records (open resolvers + passive DNS) and protective fingerprints —
+   driven through a pluggable :class:`~repro.engine.api.QueryEngine`
+   (sequential or batched, selected by :attr:`HunterConfig.engine`);
 2. :class:`~repro.core.suspicion.SuspicionFilter` excludes correct and
    protective records;
 3. :class:`~repro.core.analysis.MaliciousBehaviorAnalyzer` fuses threat
@@ -16,9 +18,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..dns.name import Name
+from ..engine import ENGINE_REGISTRY, DEFAULT_ENGINE, EnginePolicy, create_engine
 from ..intel.aggregator import ThreatIntelAggregator
 from ..intel.ipinfo import IpInfoDatabase
 from ..intel.pdns import PassiveDnsStore
@@ -42,9 +55,33 @@ from .report import MeasurementReport
 from .suspicion import SuspicionFilter
 
 
+@runtime_checkable
+class WorldLike(Protocol):
+    """What :meth:`URHunter.from_world` needs from a scenario world.
+
+    A typed replacement for the old ``world: "object"`` duck typing:
+    :mod:`repro.core` still never imports :mod:`repro.scenario`, but the
+    contract is now explicit and checkable.
+    """
+
+    network: SimulatedInternet
+    nameserver_targets: Sequence[NameserverTarget]
+    domain_targets: Sequence[DomainTarget]
+    delegated_to: Dict[Name, Set[str]]
+    open_resolver_ips: Sequence[str]
+    ipinfo: IpInfoDatabase
+    intel: ThreatIntelAggregator
+    pdns: Optional[PassiveDnsStore]
+    sandbox_reports: Sequence[SandboxReport]
+
+
 @dataclass
 class HunterConfig:
-    """Tunables of the pipeline (defaults follow the paper)."""
+    """Tunables of the pipeline (defaults follow the paper).
+
+    Values are validated at construction time; a bad knob raises
+    :class:`ValueError` immediately instead of failing mid-measurement.
+    """
 
     #: Appendix-B conditions in force (ablation hook)
     enabled_conditions: FrozenSet[str] = ALL_CONDITIONS
@@ -68,6 +105,52 @@ class HunterConfig:
     #: expand the target set with subdomains recovered from passive DNS
     #: (the paper's §6 future-work direction)
     expand_pdns_subdomains: bool = False
+    #: which scan engine drives stage 1 (see repro.engine.ENGINE_REGISTRY)
+    engine: str = DEFAULT_ENGINE
+    #: worker lanes the batched engine keeps in flight
+    max_concurrency: int = 8
+    #: per-query retry budget after a timeout
+    retries: int = 2
+    #: virtual seconds a lost query costs before giving up
+    timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        unknown = frozenset(self.enabled_conditions) - ALL_CONDITIONS
+        if unknown:
+            raise ValueError(
+                "unknown Appendix-B condition(s): "
+                f"{', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(ALL_CONDITIONS))})"
+            )
+        if self.per_server_interval < 0:
+            raise ValueError(
+                "per_server_interval must be >= 0, got "
+                f"{self.per_server_interval}"
+            )
+        if not self.query_types:
+            raise ValueError("query_types must name at least one RR type")
+        if self.engine not in ENGINE_REGISTRY:
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                f"(known: {', '.join(sorted(ENGINE_REGISTRY))})"
+            )
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def engine_policy(self) -> EnginePolicy:
+        """The engine policy implied by this configuration."""
+        return EnginePolicy(
+            max_concurrency=self.max_concurrency,
+            retries=self.retries,
+            timeout=self.timeout,
+            per_server_interval=self.per_server_interval,
+        )
 
 
 class URHunter:
@@ -96,12 +179,19 @@ class URHunter:
         self.pdns = pdns
         self.sandbox_reports = list(sandbox_reports)
         self.config = config or HunterConfig()
+        self.engine = create_engine(
+            self.config.engine,
+            network,
+            self.config.scanner_ip,
+            policy=self.config.engine_policy(),
+        )
         self.collector = ResponseCollector(
             network,
             scanner_ip=self.config.scanner_ip,
             rng=random.Random(self.config.seed),
             per_server_interval=self.config.per_server_interval,
             query_types=self.config.query_types,
+            engine=self.engine,
         )
         # Populated by run(); kept for inspection and tests.
         self.correct_db: Optional[CorrectRecordDatabase] = None
@@ -109,23 +199,20 @@ class URHunter:
 
     @classmethod
     def from_world(
-        cls, world: "object", config: Optional[HunterConfig] = None
+        cls, world: WorldLike, config: Optional[HunterConfig] = None
     ) -> "URHunter":
-        """Build a hunter from a :class:`repro.scenario.world.World`.
-
-        Duck-typed so :mod:`repro.core` stays independent of
-        :mod:`repro.scenario`.
-        """
+        """Build a hunter from anything satisfying :class:`WorldLike`
+        (e.g. :class:`repro.scenario.world.World`)."""
         return cls(
-            network=world.network,  # type: ignore[attr-defined]
-            nameservers=world.nameserver_targets,  # type: ignore[attr-defined]
-            domains=world.domain_targets,  # type: ignore[attr-defined]
-            delegated_to=world.delegated_to,  # type: ignore[attr-defined]
-            open_resolver_ips=world.open_resolver_ips,  # type: ignore[attr-defined]
-            ipinfo=world.ipinfo,  # type: ignore[attr-defined]
-            intel=world.intel,  # type: ignore[attr-defined]
-            pdns=world.pdns,  # type: ignore[attr-defined]
-            sandbox_reports=world.sandbox_reports,  # type: ignore[attr-defined]
+            network=world.network,
+            nameservers=world.nameserver_targets,
+            domains=world.domain_targets,
+            delegated_to=world.delegated_to,
+            open_resolver_ips=world.open_resolver_ips,
+            ipinfo=world.ipinfo,
+            intel=world.intel,
+            pdns=world.pdns,
+            sandbox_reports=world.sandbox_reports,
             config=config,
         )
 
@@ -143,29 +230,28 @@ class URHunter:
             domains.extend(
                 recover_pdns_subdomains(self.pdns, domains, self.network.now)
             )
-        # Stage 1a: protective fingerprints from the probe domain.
-        protective = self.collector.collect_protective_records(
-            self.nameservers, self.config.probe_domain
-        )
-        # Stage 1b: correct records via open resolvers.
+        # Stage 1: all three collections through the scan engine.
         correct_db = CorrectRecordDatabase(self.ipinfo)
-        self.collector.collect_correct_records(
-            domains, self.open_resolver_ips, correct_db
+        collection = self.collector.collect_all(
+            self.nameservers,
+            domains,
+            self.delegated_to,
+            self.open_resolver_ips,
+            correct_db,
+            probe_domain=self.config.probe_domain,
         )
         self.correct_db = correct_db
-        # Stage 1c: the UR scan itself.
-        urs, responses, queries, timeouts = self.collector.collect_urs(
-            self.nameservers, domains, self.delegated_to
-        )
         # Stage 2: exclusion.
         checker = UniformityChecker(
             correct_db,
             pdns=self.pdns,
             enabled_conditions=self.config.enabled_conditions,
         )
-        suspicion = SuspicionFilter(checker, protective)
+        suspicion = SuspicionFilter(checker, collection.protective)
         self.last_filter = suspicion
-        outcome = suspicion.classify(urs, now=self.network.now)
+        outcome = suspicion.classify(
+            collection.undelegated, now=self.network.now
+        )
         # Stage 3: malicious behaviour analysis on the suspicious set.
         analyzer = MaliciousBehaviorAnalyzer(
             self.intel,
@@ -191,11 +277,12 @@ class URHunter:
         return MeasurementReport(
             classified=classified,
             ip_verdicts=refined.ip_verdicts,
-            queries_sent=queries,
-            responses_seen=responses,
-            timeouts=timeouts,
+            queries_sent=collection.queries_sent,
+            responses_seen=collection.responses_seen,
+            timeouts=collection.timeouts,
             txt_without_ip=refined.txt_without_ip,
             false_negative_rate=fn_rate,
+            scan_metrics=collection.metrics,
         )
 
     # -- validation helper --------------------------------------------------

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dns.name import Name
 from ..dns.rdata import RRType
+from ..engine.metrics import ScanMetrics
 from .records import ClassifiedUR, IpVerdict, URCategory
 from .txt import TxtCategory
 
@@ -71,6 +72,8 @@ class MeasurementReport:
     timeouts: int = 0
     txt_without_ip: int = 0
     false_negative_rate: Optional[float] = None
+    #: engine observability for the whole stage-1 scan (all collections)
+    scan_metrics: Optional[ScanMetrics] = None
 
     # -- basic partitions ---------------------------------------------------
 
@@ -294,4 +297,7 @@ class MeasurementReport:
             lines.append(
                 f"validation FN rate:      {self.false_negative_rate:.4f}"
             )
+        if self.scan_metrics is not None:
+            lines.append("scan engine metrics:")
+            lines.append(self.scan_metrics.summary(indent="  "))
         return "\n".join(lines)

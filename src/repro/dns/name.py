@@ -89,6 +89,15 @@ class Name:
         """The labels in presentation order (leftmost first)."""
         return self._labels
 
+    @property
+    def lowered_labels(self) -> Tuple[str, ...]:
+        """The lowercased labels — the comparison/hash key.
+
+        Suffix slices of this tuple key case-insensitive ancestor
+        lookups (e.g. zone indexes) without building Name objects.
+        """
+        return self._lower
+
     def __len__(self) -> int:
         return len(self._labels)
 

@@ -57,6 +57,9 @@ class AuthoritativeServer:
         self.protective_records = list(protective_records or [])
         self.recursive_fallback = recursive_fallback
         self._zones: Dict[Name, Zone] = {}
+        #: suffix index: lowered origin labels -> zone, so the closest
+        #: enclosing zone is found in O(labels) instead of O(zones)
+        self._origin_index: Dict[Tuple[str, ...], Zone] = {}
         self.addresses: List[str] = []
         #: counters for tests/observability
         self.query_count = 0
@@ -66,20 +69,26 @@ class AuthoritativeServer:
     def load_zone(self, zone: Zone) -> None:
         """Serve ``zone``; replaces any existing zone at the same origin."""
         self._zones[zone.origin] = zone
+        self._origin_index[zone.origin.lowered_labels] = zone
 
     def unload_zone(self, origin: Union[str, Name]) -> bool:
         """Stop serving the zone at ``origin``; True when it existed."""
-        return self._zones.pop(name(origin), None) is not None
+        removed = self._zones.pop(name(origin), None)
+        if removed is None:
+            return False
+        del self._origin_index[removed.origin.lowered_labels]
+        return True
 
     def zone_for(self, qname: Union[str, Name]) -> Optional[Zone]:
         """The closest enclosing hosted zone for ``qname``, if any."""
-        qname = name(qname)
-        best: Optional[Zone] = None
-        for origin, zone in self._zones.items():
-            if qname.is_subdomain_of(origin):
-                if best is None or len(origin) > len(best.origin):
-                    best = zone
-        return best
+        lowered = name(qname).lowered_labels
+        index = self._origin_index
+        # walk qname, then each ancestor suffix, longest first
+        for offset in range(len(lowered) + 1):
+            zone = index.get(lowered[offset:])
+            if zone is not None:
+                return zone
+        return None
 
     def hosts_zone(self, origin: Union[str, Name]) -> bool:
         return name(origin) in self._zones

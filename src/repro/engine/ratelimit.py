@@ -1,0 +1,89 @@
+"""Per-server pacing against the virtual clock.
+
+Appendix A of the paper commits to roughly one query per nameserver per
+130 seconds.  A token bucket per server enforces exactly that invariant
+for any engine: a query may only be sent when the server's bucket holds
+a token, and tokens refill at ``1 / interval`` per virtual second.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class TokenBucket:
+    """A single server's pacing bucket.
+
+    ``burst`` tokens are available immediately; afterwards one token
+    regenerates every ``interval`` virtual seconds.
+    """
+
+    __slots__ = ("interval", "capacity", "tokens", "updated_at")
+
+    def __init__(self, interval: float, burst: int = 1):
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.interval = interval
+        self.capacity = float(burst)
+        self.tokens = float(burst)
+        self.updated_at = 0.0
+
+    def _refill(self, now: float) -> None:
+        if self.interval <= 0:
+            self.tokens = self.capacity
+            return
+        if now > self.updated_at:
+            self.tokens = min(
+                self.capacity,
+                self.tokens + (now - self.updated_at) / self.interval,
+            )
+        self.updated_at = max(self.updated_at, now)
+
+    def ready_at(self, now: float) -> float:
+        """Earliest virtual time a token will be available."""
+        if self.interval <= 0:
+            return now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return now
+        return now + (1.0 - self.tokens) * self.interval
+
+    def take(self, now: float) -> None:
+        """Consume one token; callers must have waited for readiness."""
+        if self.interval <= 0:
+            return
+        self._refill(now)
+        self.tokens -= 1.0
+
+
+class RateLimiter:
+    """Token buckets keyed by server address."""
+
+    def __init__(self, interval: float, burst: int = 1):
+        self.interval = interval
+        self.burst = burst
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval > 0
+
+    def _bucket(self, server_ip: str) -> TokenBucket:
+        bucket = self._buckets.get(server_ip)
+        if bucket is None:
+            bucket = self._buckets[server_ip] = TokenBucket(
+                self.interval, self.burst
+            )
+        return bucket
+
+    def ready_at(self, server_ip: str, now: float) -> float:
+        if not self.enabled:
+            return now
+        return self._bucket(server_ip).ready_at(now)
+
+    def take(self, server_ip: str, now: float) -> None:
+        if not self.enabled:
+            return
+        self._bucket(server_ip).take(now)

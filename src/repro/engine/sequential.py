@@ -1,0 +1,111 @@
+"""The naive baseline engine: one task at a time, in order.
+
+This is the behaviour the original ``ResponseCollector`` loop had, with
+the policy knobs (pacing, timeout, retry/backoff) made explicit.  Every
+wait is dead time: the virtual clock ticks while the single worker sits
+out a pacing interval, a timeout, or a backoff — which is exactly what
+the batched engine exists to avoid.
+
+Kept both as a correctness oracle (the batched engine must match its
+classified output bit for bit on a fault-free scenario) and as the
+comparison baseline for the scheduling benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dns.message import Message
+from ..net.network import NetworkError, SimulatedInternet
+from .api import EnginePolicy, OutcomeStatus, QueryOutcome, QueryTask
+from .metrics import ScanMetrics
+from .ratelimit import RateLimiter
+
+
+class SequentialEngine:
+    """Drive tasks strictly serially over the simulated internet."""
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        network: SimulatedInternet,
+        scanner_ip: str,
+        policy: Optional[EnginePolicy] = None,
+        metrics: Optional[ScanMetrics] = None,
+    ):
+        self.network = network
+        self.scanner_ip = scanner_ip
+        self.policy = policy or EnginePolicy()
+        self.metrics = metrics if metrics is not None else ScanMetrics()
+        self._limiter = RateLimiter(self.policy.per_server_interval)
+        self._query_cache: Dict[Tuple[object, int, bool], Message] = {}
+
+    # -- QueryEngine protocol ---------------------------------------------
+
+    def execute(self, tasks: Sequence[QueryTask]) -> List[QueryOutcome]:
+        outcomes: List[QueryOutcome] = []
+        for task in tasks:
+            outcomes.append(self._run_task(task))
+        return outcomes
+
+    # -- internals ---------------------------------------------------------
+
+    def _query_for(self, task: QueryTask) -> Message:
+        key = (task.qname, task.qtype, task.recursion_desired)
+        query = self._query_cache.get(key)
+        if query is None:
+            query = Message.make_query(
+                task.qname,
+                task.qtype,
+                recursion_desired=task.recursion_desired,
+            )
+            self._query_cache[key] = query
+        return query
+
+    def _run_task(self, task: QueryTask) -> QueryOutcome:
+        policy = self.policy
+        counters = self.metrics.stage(task.stage)
+        network = self.network
+        query = self._query_for(task)
+        attempts = 0
+        while True:
+            # pacing: the lone worker has nothing to do but wait
+            ready = self._limiter.ready_at(task.server_ip, network.now)
+            if ready > network.now:
+                counters.rate_limit_wait += ready - network.now
+                network.tick(ready - network.now)
+            self._limiter.take(task.server_ip, network.now)
+            attempts += 1
+            counters.queries += 1
+            sent_at = network.now
+            try:
+                response = network.query_dns_auto(
+                    self.scanner_ip, task.server_ip, query
+                )
+            except NetworkError:
+                response = None
+            if response is not None:
+                counters.responses += 1
+                self.metrics.latency.record(network.now - sent_at)
+                return QueryOutcome(
+                    task=task,
+                    status=OutcomeStatus.ANSWERED,
+                    response=response,
+                    attempts=attempts,
+                    completed_at=network.now,
+                )
+            # timed out: the scanner waited the full timeout for nothing
+            counters.timeouts += 1
+            network.tick(policy.timeout)
+            self.metrics.latency.record(network.now - sent_at)
+            if attempts > policy.retries:
+                counters.giveups += 1
+                return QueryOutcome(
+                    task=task,
+                    status=OutcomeStatus.GAVE_UP,
+                    attempts=attempts,
+                    completed_at=network.now,
+                )
+            counters.retries += 1
+            network.tick(policy.backoff_delay(attempts))

@@ -11,6 +11,7 @@ runs or a transaction charges latency — keeping every run deterministic.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Protocol as TypingProtocol
 
@@ -58,6 +59,51 @@ class _HostEntry:
     online: bool = True
 
 
+@dataclass
+class FaultProfile:
+    """Failure-injection knobs for one host (or the whole network).
+
+    * ``loss_rate`` — fraction of DNS queries silently dropped;
+    * ``latency_jitter`` — extra per-query latency, uniform in
+      ``[0, latency_jitter)`` virtual seconds;
+    * ``flap_up`` / ``flap_down`` — when both are set the host cycles
+      online for ``flap_up`` seconds then dead for ``flap_down``
+      seconds, phase-locked to the virtual clock (deterministic).
+    """
+
+    loss_rate: float = 0.0
+    latency_jitter: float = 0.0
+    flap_up: float = 0.0
+    flap_down: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1], got {self.loss_rate}"
+            )
+        if self.latency_jitter < 0:
+            raise ValueError(
+                f"latency_jitter must be >= 0, got {self.latency_jitter}"
+            )
+        if self.flap_up < 0 or self.flap_down < 0:
+            raise ValueError("flap durations must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.loss_rate > 0
+            or self.latency_jitter > 0
+            or (self.flap_up > 0 and self.flap_down > 0)
+        )
+
+    def flapped_down(self, now: float) -> bool:
+        """Is a flapping host inside its dead window at ``now``?"""
+        period = self.flap_up + self.flap_down
+        if self.flap_down <= 0 or period <= 0:
+            return False
+        return (now % period) >= self.flap_up
+
+
 class SimulatedInternet:
     """Registry plus transport for all simulated hosts.
 
@@ -77,7 +123,62 @@ class SimulatedInternet:
             "tcp_connects": 0,
             "tcp_failures": 0,
             "wire_errors": 0,
+            "injected_losses": 0,
+            "flap_drops": 0,
         }
+        #: failure injection (None / empty = zero overhead)
+        self._global_faults: Optional[FaultProfile] = None
+        self._server_faults: Dict[str, FaultProfile] = {}
+        self._fault_rng = random.Random(0)
+
+    # -- failure injection --------------------------------------------------
+
+    def inject_faults(
+        self,
+        loss_rate: float = 0.0,
+        latency_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        """Apply a network-wide fault profile (deterministic via ``seed``).
+
+        Per-server profiles from :meth:`set_server_faults` take
+        precedence over the global one.
+        """
+        profile = FaultProfile(
+            loss_rate=loss_rate, latency_jitter=latency_jitter
+        )
+        self._global_faults = profile if profile.active else None
+        self._fault_rng = random.Random(seed)
+
+    def set_server_faults(
+        self,
+        address: str,
+        loss_rate: float = 0.0,
+        latency_jitter: float = 0.0,
+        flap_up: float = 0.0,
+        flap_down: float = 0.0,
+    ) -> None:
+        """Attach a fault profile to one host (zeros clear it)."""
+        profile = FaultProfile(
+            loss_rate=loss_rate,
+            latency_jitter=latency_jitter,
+            flap_up=flap_up,
+            flap_down=flap_down,
+        )
+        if profile.active:
+            self._server_faults[address] = profile
+        else:
+            self._server_faults.pop(address, None)
+
+    def clear_faults(self) -> None:
+        """Remove every injected fault profile."""
+        self._global_faults = None
+        self._server_faults.clear()
+
+    def _fault_profile(self, address: str) -> Optional[FaultProfile]:
+        if not self._server_faults and self._global_faults is None:
+            return None
+        return self._server_faults.get(address, self._global_faults)
 
     # -- clock ------------------------------------------------------------
 
@@ -175,6 +276,25 @@ class SimulatedInternet:
             self.stats["dns_timeouts"] += 1
             self.capture.record(replace(flow, success=False))
             raise NetworkError(f"no DNS service at {dst_ip}")
+        faults = self._fault_profile(dst_ip)
+        if faults is not None:
+            if faults.flapped_down(self._clock):
+                self.stats["dns_timeouts"] += 1
+                self.stats["flap_drops"] += 1
+                self.capture.record(replace(flow, success=False))
+                raise NetworkError(f"host {dst_ip} is flapping (down)")
+            if (
+                faults.loss_rate > 0
+                and self._fault_rng.random() < faults.loss_rate
+            ):
+                self.stats["dns_timeouts"] += 1
+                self.stats["injected_losses"] += 1
+                self.capture.record(replace(flow, success=False))
+                raise NetworkError(f"query to {dst_ip} lost (injected)")
+            if faults.latency_jitter > 0:
+                self._clock += (
+                    self._fault_rng.random() * faults.latency_jitter
+                )
         wire = encode_message(query)
         try:
             decoded_query = decode_message(wire)

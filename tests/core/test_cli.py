@@ -33,6 +33,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.engine == "batched"
+        assert args.max_concurrency == 8
+        assert args.retries == 2
+        assert args.timeout == 5.0
+        assert args.loss_rate == 0.0
+
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            [
+                "--engine",
+                "sequential",
+                "--max-concurrency",
+                "16",
+                "--retries",
+                "4",
+                "--timeout",
+                "2.5",
+                "--loss-rate",
+                "0.1",
+                "run",
+            ]
+        )
+        assert args.engine == "sequential"
+        assert args.max_concurrency == 16
+        assert args.retries == 4
+        assert args.timeout == 2.5
+        assert args.loss_rate == 0.1
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine", "warp", "run"])
+
 
 BASE = ["--scale", "small", "--seed", "9"]
 
@@ -53,6 +87,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "Cloudflare" in out
+
+    def test_run_prints_scan_metrics(self, capsys):
+        assert main(BASE + ["run"]) == 0
+        out = capsys.readouterr().out
+        assert "scan engine metrics:" in out
+        assert "[ur]" in out
+
+    def test_run_sequential_engine(self, capsys):
+        assert main(BASE + ["--engine", "sequential", "run"]) == 0
+        assert "unique_urs" in capsys.readouterr().out
+
+    def test_run_with_injected_loss(self, capsys):
+        assert main(BASE + ["--loss-rate", "0.05", "run"]) == 0
+        out = capsys.readouterr().out
+        assert "retries:" in out
+
+    def test_bad_loss_rate_rejected(self, capsys):
+        assert main(BASE + ["--loss-rate", "1.5", "run"]) == 2
+
+    def test_bad_engine_knob_exits_cleanly(self, capsys):
+        assert main(BASE + ["--max-concurrency", "0", "run"]) == 2
+        assert "max_concurrency" in capsys.readouterr().err
 
     def test_figures(self, capsys):
         assert main(BASE + ["figures"]) == 0

@@ -59,23 +59,23 @@ def setup():
 class TestUrCollection:
     def test_urs_extracted_from_noerror(self, setup):
         _, collector, nameservers, domains = setup
-        urs, responses, queries, timeouts = collector.collect_urs(
+        result = collector.collect_urs(
             nameservers, domains, delegated_to={}
         )
         keys = {(str(record.domain), record.nameserver_ip, record.rrtype)
-                for record in urs}
+                for record in result.undelegated}
         assert ("squat.com", NS_A, RRType.A) in keys
         assert ("squat.com", NS_A, RRType.TXT) in keys
         assert ("victim.com", NS_A, RRType.A) in keys
-        assert timeouts == 0
+        assert result.timeouts == 0
 
     def test_delegated_pairs_skipped(self, setup):
         _, collector, nameservers, domains = setup
-        urs, _, _, _ = collector.collect_urs(
+        urs = collector.collect_urs(
             nameservers,
             domains,
             delegated_to={name("victim.com"): {NS_A}},
-        )
+        ).undelegated
         assert not any(
             str(record.domain) == "victim.com"
             and record.nameserver_ip == NS_A
@@ -88,16 +88,16 @@ class TestUrCollection:
 
     def test_refused_servers_yield_nothing(self, setup):
         _, collector, nameservers, domains = setup
-        urs, _, _, _ = collector.collect_urs(
+        result = collector.collect_urs(
             [NameserverTarget(NS_C, "HostC")], domains, {}
         )
-        assert urs == []
+        assert result.undelegated == []
 
     def test_protective_answers_collected_as_urs(self, setup):
         _, collector, nameservers, domains = setup
-        urs, _, _, _ = collector.collect_urs(
+        urs = collector.collect_urs(
             [NameserverTarget(NS_B, "HostB")], domains, {}
-        )
+        ).undelegated
         # Both domains answered with the same protective A + TXT.
         a_records = [r for r in urs if r.rrtype == RRType.A]
         assert len(a_records) == 2
@@ -106,20 +106,20 @@ class TestUrCollection:
     def test_dead_server_counts_timeouts(self, setup):
         network, collector, _, domains = setup
         network.set_online(NS_A, False)
-        urs, responses, queries, timeouts = collector.collect_urs(
+        result = collector.collect_urs(
             [NameserverTarget(NS_A, "HostA")], domains, {}
         )
-        assert urs == []
-        assert timeouts == queries
+        assert result.undelegated == []
+        assert result.timeouts == result.queries_sent
 
     def test_unique_urs_deduped(self, setup):
         _, collector, nameservers, domains = setup
-        urs, _, _, _ = collector.collect_urs(nameservers, domains, {})
+        urs = collector.collect_urs(nameservers, domains, {}).undelegated
         assert len({record.key for record in urs}) == len(urs)
 
     def test_provider_attached(self, setup):
         _, collector, nameservers, domains = setup
-        urs, _, _, _ = collector.collect_urs(nameservers, domains, {})
+        urs = collector.collect_urs(nameservers, domains, {}).undelegated
         providers = {record.provider for record in urs}
         assert "HostA" in providers
 
@@ -204,6 +204,80 @@ class TestRateLimiting:
             [NameserverTarget(NS_A, "HostA")], domains, {}
         )
         assert network.now - before < 1.0
+
+
+class TestCollectionResultShim:
+    def test_tuple_unpacking_warns_but_works(self, setup):
+        _, collector, nameservers, domains = setup
+        with pytest.warns(DeprecationWarning, match="named fields"):
+            urs, responses, queries, timeouts = collector.collect_urs(
+                nameservers, domains, {}
+            )
+        assert urs
+        assert queries >= responses > 0
+        assert timeouts == queries - responses
+
+    def test_legacy_tuple_matches_fields(self, setup):
+        _, collector, nameservers, domains = setup
+        result = collector.collect_urs(nameservers, domains, {})
+        assert result.legacy_tuple() == (
+            result.undelegated,
+            result.responses_seen,
+            result.queries_sent,
+            result.timeouts,
+        )
+
+    def test_collect_all_folds_everything(self, setup):
+        network, collector, nameservers, domains = setup
+        database = CorrectRecordDatabase(IpInfoDatabase())
+        result = collector.collect_all(
+            nameservers,
+            domains,
+            delegated_to={},
+            open_resolver_ips=[],
+            correct_db=database,
+        )
+        assert result.correct_db is database
+        assert set(result.protective) == {NS_A, NS_B, NS_C}
+        assert result.metrics is not None
+        assert result.metrics.stage("ur").queries > 0
+        assert result.metrics.stage("protective").queries > 0
+
+
+class TestQueryTypesAlias:
+    def test_class_access_yields_defaults(self):
+        from repro.core.collector import DEFAULT_QUERY_TYPES
+
+        assert ResponseCollector.QUERY_TYPES == DEFAULT_QUERY_TYPES
+
+    def test_instance_access_warns_and_tracks_override(self, setup):
+        network, _, _, _ = setup
+        collector = ResponseCollector(
+            network, query_types=(RRType.A, RRType.TXT, RRType.MX)
+        )
+        with pytest.warns(DeprecationWarning, match="query_types"):
+            alias = collector.QUERY_TYPES
+        assert alias == (RRType.A, RRType.TXT, RRType.MX)
+        assert alias == collector.query_types
+
+
+class TestEngineSelection:
+    def test_default_engine_is_batched(self, setup):
+        _, collector, _, _ = setup
+        assert collector.engine.name == "batched"
+
+    def test_engine_name_selects_implementation(self, setup):
+        network, _, _, _ = setup
+        collector = ResponseCollector(network, engine_name="sequential")
+        assert collector.engine.name == "sequential"
+
+    def test_explicit_engine_wins(self, setup):
+        from repro.engine import SequentialEngine
+
+        network, _, _, _ = setup
+        engine = SequentialEngine(network, "203.0.113.53")
+        collector = ResponseCollector(network, engine=engine)
+        assert collector.engine is engine
 
 
 class TestNameserverSelection:

@@ -164,3 +164,60 @@ class TestConfigurability:
             for entry in second.classified
         }
         assert first_keys == second_keys
+
+
+class TestHunterConfigValidation:
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(ValueError, match="Appendix-B"):
+            HunterConfig(enabled_conditions=frozenset({"astrology"}))
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="per_server_interval"):
+            HunterConfig(per_server_interval=-1.0)
+
+    def test_empty_query_types_rejected(self):
+        with pytest.raises(ValueError, match="query_types"):
+            HunterConfig(query_types=())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            HunterConfig(engine="quantum")
+
+    def test_bad_engine_knobs_rejected(self):
+        with pytest.raises(ValueError, match="max_concurrency"):
+            HunterConfig(max_concurrency=0)
+        with pytest.raises(ValueError, match="retries"):
+            HunterConfig(retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            HunterConfig(timeout=0.0)
+
+    def test_engine_policy_carries_knobs(self):
+        config = HunterConfig(
+            max_concurrency=4,
+            retries=1,
+            timeout=2.5,
+            per_server_interval=130.0,
+        )
+        policy = config.engine_policy()
+        assert policy.max_concurrency == 4
+        assert policy.retries == 1
+        assert policy.timeout == 2.5
+        assert policy.per_server_interval == 130.0
+
+
+class TestWorldLikeProtocol:
+    def test_scenario_world_satisfies_protocol(self, small_world):
+        from repro.core import WorldLike
+
+        assert isinstance(small_world, WorldLike)
+
+    def test_engine_choice_reaches_collector(self, small_world):
+        hunter = URHunter.from_world(
+            small_world, HunterConfig(engine="sequential")
+        )
+        assert hunter.engine.name == "sequential"
+        assert hunter.collector.engine is hunter.engine
+
+    def test_default_engine_is_batched(self, small_world):
+        hunter = URHunter.from_world(small_world)
+        assert hunter.engine.name == "batched"

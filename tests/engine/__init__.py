@@ -1,0 +1,1 @@
+"""Tests for repro.engine: the pluggable scan-engine subsystem."""

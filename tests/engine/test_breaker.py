@@ -1,0 +1,70 @@
+"""Tests for the per-server circuit breaker."""
+
+from repro.engine.breaker import CircuitBreaker, CircuitState
+
+SERVER = "10.0.0.66"
+OTHER = "10.0.0.1"
+
+
+def test_closed_below_threshold():
+    breaker = CircuitBreaker(failure_threshold=3)
+    for _ in range(2):
+        breaker.record_failure(SERVER, now=0.0)
+    assert breaker.state(SERVER) is CircuitState.CLOSED
+    assert breaker.allow(SERVER, now=0.0)
+
+
+def test_opens_at_threshold():
+    breaker = CircuitBreaker(failure_threshold=3)
+    for _ in range(3):
+        breaker.record_failure(SERVER, now=1.0)
+    assert breaker.state(SERVER) is CircuitState.OPEN
+    assert not breaker.allow(SERVER, now=1.0)
+
+
+def test_success_resets_failure_count():
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure(SERVER, now=0.0)
+    breaker.record_failure(SERVER, now=0.0)
+    breaker.record_success(SERVER)
+    breaker.record_failure(SERVER, now=0.0)
+    breaker.record_failure(SERVER, now=0.0)
+    assert breaker.state(SERVER) is CircuitState.CLOSED
+
+
+def test_half_open_after_reset_interval():
+    breaker = CircuitBreaker(failure_threshold=1, reset_interval=60.0)
+    breaker.record_failure(SERVER, now=0.0)
+    assert not breaker.allow(SERVER, now=59.0)
+    # the first allow after the interval is the probe ...
+    assert breaker.allow(SERVER, now=60.0)
+    assert breaker.state(SERVER) is CircuitState.HALF_OPEN
+    # ... and only the probe: everything else is held
+    assert not breaker.allow(SERVER, now=60.0)
+
+
+def test_probe_success_closes():
+    breaker = CircuitBreaker(failure_threshold=1, reset_interval=60.0)
+    breaker.record_failure(SERVER, now=0.0)
+    assert breaker.allow(SERVER, now=60.0)
+    breaker.record_success(SERVER)
+    assert breaker.state(SERVER) is CircuitState.CLOSED
+    assert breaker.allow(SERVER, now=60.0)
+
+
+def test_probe_failure_reopens_with_fresh_timer():
+    breaker = CircuitBreaker(failure_threshold=1, reset_interval=60.0)
+    breaker.record_failure(SERVER, now=0.0)
+    assert breaker.allow(SERVER, now=60.0)
+    breaker.record_failure(SERVER, now=60.0)
+    assert breaker.state(SERVER) is CircuitState.OPEN
+    assert not breaker.allow(SERVER, now=119.0)
+    assert breaker.allow(SERVER, now=120.0)
+
+
+def test_servers_are_independent():
+    breaker = CircuitBreaker(failure_threshold=1)
+    breaker.record_failure(SERVER, now=0.0)
+    assert not breaker.allow(SERVER, now=0.0)
+    assert breaker.allow(OTHER, now=0.0)
+    assert breaker.state(OTHER) is CircuitState.CLOSED

@@ -1,0 +1,245 @@
+"""Behavioral tests for both engines over the simulated internet."""
+
+import pytest
+
+from repro.dns.message import Rcode
+from repro.dns.name import name
+from repro.dns.rdata import RRType
+from repro.engine import (
+    BatchedEngine,
+    EnginePolicy,
+    OutcomeStatus,
+    QueryTask,
+    SequentialEngine,
+    create_engine,
+)
+from repro.engine.breaker import CircuitState
+from repro.net.traffic import Protocol
+
+from .conftest import NS_DEAD, NS_LIVE, NS_LIVE2, SCANNER
+
+ENGINES = ("sequential", "batched")
+
+
+def _task(server_ip, qtype=RRType.A, stage="ur"):
+    return QueryTask(
+        server_ip=server_ip,
+        qname=name("example.test"),
+        qtype=qtype,
+        stage=stage,
+    )
+
+
+class TestAnsweredPath:
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_single_answer(self, network, engine_name):
+        engine = create_engine(engine_name, network, SCANNER)
+        [outcome] = engine.execute([_task(NS_LIVE)])
+        assert outcome.status is OutcomeStatus.ANSWERED
+        assert outcome.answered
+        assert outcome.attempts == 1
+        assert outcome.response.header.rcode == Rcode.NOERROR
+        counters = engine.metrics.stage("ur")
+        assert counters.queries == 1
+        assert counters.responses == 1
+        assert engine.metrics.latency.total == 1
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_outcomes_in_task_order(self, network, engine_name):
+        engine = create_engine(engine_name, network, SCANNER)
+        tasks = [
+            _task(NS_LIVE),
+            _task(NS_LIVE2),
+            _task(NS_LIVE, qtype=RRType.TXT),
+            _task(NS_LIVE2, qtype=RRType.TXT),
+        ]
+        outcomes = engine.execute(tasks)
+        assert [outcome.task for outcome in outcomes] == tasks
+        assert all(outcome.answered for outcome in outcomes)
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_empty_task_list(self, network, engine_name):
+        engine = create_engine(engine_name, network, SCANNER)
+        assert engine.execute([]) == []
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_stage_buckets_kept_apart(self, network, engine_name):
+        engine = create_engine(engine_name, network, SCANNER)
+        engine.execute(
+            [
+                _task(NS_LIVE, stage="protective"),
+                _task(NS_LIVE2, stage="ur"),
+                _task(NS_LIVE, stage="ur"),
+            ]
+        )
+        assert engine.metrics.stage("protective").queries == 1
+        assert engine.metrics.stage("ur").queries == 2
+
+
+class TestRetryAndTimeout:
+    def test_sequential_clock_accounting(self, network):
+        """A dead server costs (retries+1) timeouts plus the backoffs."""
+        policy = EnginePolicy(
+            retries=2, timeout=5.0, backoff_base=0.5, backoff_factor=2.0
+        )
+        engine = SequentialEngine(network, SCANNER, policy=policy)
+        before = network.now
+        [outcome] = engine.execute([_task(NS_DEAD)])
+        assert outcome.status is OutcomeStatus.GAVE_UP
+        assert outcome.attempts == 3
+        # 3 x 5s timeouts + 0.5s + 1.0s backoffs (plus wire latency)
+        assert network.now - before == pytest.approx(16.5, abs=0.1)
+
+    def test_batched_single_lane_matches_sequential_cost(self, network):
+        policy = EnginePolicy(
+            retries=2, timeout=5.0, backoff_base=0.5, backoff_factor=2.0
+        )
+        engine = BatchedEngine(network, SCANNER, policy=policy)
+        before = network.now
+        [outcome] = engine.execute([_task(NS_DEAD)])
+        assert outcome.status is OutcomeStatus.GAVE_UP
+        assert outcome.attempts == 3
+        assert network.now - before == pytest.approx(16.5, abs=0.1)
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_timeouts_counted_per_attempt(self, network, engine_name):
+        policy = EnginePolicy(retries=1, circuit_failure_threshold=100)
+        engine = create_engine(
+            engine_name, network, SCANNER, policy=policy
+        )
+        engine.execute([_task(NS_DEAD), _task(NS_DEAD, qtype=RRType.TXT)])
+        counters = engine.metrics.stage("ur")
+        assert counters.queries == 4
+        assert counters.timeouts == 4
+        assert counters.retries == 2
+        assert counters.giveups == 2
+
+    def test_batched_timeouts_overlap_across_lanes(self, make_network):
+        """Many dead servers: waits overlap instead of summing."""
+
+        def cost(concurrency):
+            network = make_network()
+            for index in range(8):
+                address = f"10.8.0.{index + 1}"
+                network.register_stub(address)
+                network.set_online(address, False)
+            policy = EnginePolicy(
+                retries=0,
+                timeout=5.0,
+                max_concurrency=concurrency,
+                circuit_failure_threshold=100,
+            )
+            engine = BatchedEngine(network, SCANNER, policy=policy)
+            tasks = [_task(f"10.8.0.{index + 1}") for index in range(8)]
+            before = network.now
+            engine.execute(tasks)
+            return network.now - before
+
+        # 8 lanes wait out their 5s timeouts concurrently ...
+        assert cost(8) == pytest.approx(5.0, abs=0.2)
+        # ... a single worker pays them one after the other.
+        assert cost(1) == pytest.approx(40.0, abs=0.5)
+
+
+class TestCircuitBreaking:
+    def test_circuit_opens_and_skips(self, network):
+        policy = EnginePolicy(retries=0, circuit_failure_threshold=5)
+        engine = BatchedEngine(network, SCANNER, policy=policy)
+        tasks = [
+            _task(NS_DEAD, qtype=qtype)
+            for qtype in (RRType.A, RRType.TXT)
+            for _ in range(5)
+        ]
+        outcomes = engine.execute(tasks)
+        statuses = [outcome.status for outcome in outcomes]
+        assert statuses.count(OutcomeStatus.GAVE_UP) == 5
+        assert statuses.count(OutcomeStatus.SKIPPED) == 5
+        assert engine.circuit_state(NS_DEAD) is CircuitState.OPEN
+        counters = engine.metrics.stage("ur")
+        assert counters.queries == 5  # the wire was spared 5 sends
+        assert counters.skipped == 5
+
+    def test_circuit_recovers_after_reset(self, network):
+        """OPEN -> HALF_OPEN probe -> CLOSED once the server heals."""
+        policy = EnginePolicy(
+            retries=0,
+            circuit_failure_threshold=3,
+            circuit_reset_interval=60.0,
+        )
+        engine = BatchedEngine(network, SCANNER, policy=policy)
+        network.set_online(NS_LIVE, False)
+        first = engine.execute([_task(NS_LIVE) for _ in range(5)])
+        assert engine.circuit_state(NS_LIVE) is CircuitState.OPEN
+        assert [outcome.status for outcome in first[3:]] == [
+            OutcomeStatus.SKIPPED,
+            OutcomeStatus.SKIPPED,
+        ]
+
+        network.set_online(NS_LIVE, True)
+        network.tick(60.0)
+        second = engine.execute([_task(NS_LIVE) for _ in range(3)])
+        assert all(outcome.answered for outcome in second)
+        assert engine.circuit_state(NS_LIVE) is CircuitState.CLOSED
+
+    def test_sequential_has_no_breaker(self, network):
+        """The baseline pays full price for every dead-server task."""
+        policy = EnginePolicy(retries=0, circuit_failure_threshold=1)
+        engine = SequentialEngine(network, SCANNER, policy=policy)
+        outcomes = engine.execute([_task(NS_DEAD) for _ in range(4)])
+        assert all(
+            outcome.status is OutcomeStatus.GAVE_UP for outcome in outcomes
+        )
+        assert engine.metrics.stage("ur").queries == 4
+
+
+class TestPacing:
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_per_server_gap_never_violated(self, network, engine_name):
+        interval = 130.0
+        policy = EnginePolicy(per_server_interval=interval)
+        engine = create_engine(
+            engine_name, network, SCANNER, policy=policy
+        )
+        tasks = [
+            _task(server, qtype=qtype)
+            for server in (NS_LIVE, NS_LIVE2)
+            for qtype in (RRType.A, RRType.TXT)
+            for _ in range(2)
+        ]
+        engine.execute(tasks)
+        flows = network.capture.filter(protocol=Protocol.DNS, src=SCANNER)
+        for server in (NS_LIVE, NS_LIVE2):
+            stamps = sorted(
+                flow.timestamp for flow in flows if flow.dst == server
+            )
+            assert len(stamps) == 4
+            gaps = [
+                later - earlier
+                for earlier, later in zip(stamps, stamps[1:])
+            ]
+            assert all(gap >= interval - 1e-6 for gap in gaps)
+
+    def test_batched_overlaps_pacing_waits(self, make_network):
+        """Two servers paced at 130s: lanes interleave, a single worker
+        would not have to — but the serial stream still pays more."""
+
+        def virtual_cost(engine_name):
+            network = make_network()
+            policy = EnginePolicy(per_server_interval=130.0)
+            engine = create_engine(
+                engine_name, network, SCANNER, policy=policy
+            )
+            tasks = []
+            for _ in range(3):
+                tasks.append(_task(NS_LIVE))
+                tasks.append(_task(NS_LIVE2))
+            before = network.now
+            engine.execute(tasks)
+            return network.now - before
+
+        batched = virtual_cost("batched")
+        sequential = virtual_cost("sequential")
+        # 3 tokens per server -> 2 gaps: the batched engine finishes in
+        # ~2 intervals; pacing waits overlap across the two lanes.
+        assert batched == pytest.approx(260.0, abs=1.0)
+        assert batched <= sequential + 1e-6

@@ -1,0 +1,75 @@
+"""The engine-interchangeability guarantee, end to end.
+
+On a fault-free scenario with no pacing the batched schedule degenerates
+to a plain traversal, so both engines must produce the byte-identical
+classified-record set — the property that makes the batched engine a
+drop-in default.
+"""
+
+import pytest
+
+from repro.core import HunterConfig, URHunter
+from repro.scenario import build_world, small_config
+
+
+def _run(engine_name):
+    world = build_world(small_config(seed=7))
+    hunter = URHunter.from_world(
+        world, HunterConfig(engine=engine_name)
+    )
+    return hunter.run(validate=True)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: _run(name) for name in ("sequential", "batched")}
+
+
+def _classified_map(report):
+    return {
+        entry.record.key: (
+            entry.category,
+            entry.reasons,
+            entry.corresponding_ips,
+        )
+        for entry in report.classified
+    }
+
+
+class TestEngineEquivalence:
+    def test_classified_sets_identical(self, reports):
+        sequential = _classified_map(reports["sequential"])
+        batched = _classified_map(reports["batched"])
+        assert sequential == batched
+
+    def test_wire_counters_identical(self, reports):
+        sequential, batched = (
+            reports["sequential"],
+            reports["batched"],
+        )
+        assert sequential.queries_sent == batched.queries_sent
+        assert sequential.responses_seen == batched.responses_seen
+        assert sequential.timeouts == batched.timeouts
+
+    def test_validation_agrees(self, reports):
+        assert reports["sequential"].false_negative_rate == 0.0
+        assert reports["batched"].false_negative_rate == 0.0
+
+    def test_metrics_attached_to_report(self, reports):
+        for report in reports.values():
+            assert report.scan_metrics is not None
+            # the report's headline counters cover the UR sweep only
+            assert (
+                report.scan_metrics.stage("ur").queries
+                == report.queries_sent
+            )
+            assert set(report.scan_metrics.stages) == {
+                "protective",
+                "correct",
+                "ur",
+            }
+
+    def test_summary_carries_engine_metrics(self, reports):
+        text = reports["batched"].summary()
+        assert "scan engine metrics:" in text
+        assert "[ur]" in text

@@ -1,0 +1,101 @@
+"""Tests for scan observability: histograms and counters."""
+
+import pytest
+
+from repro.engine.metrics import (
+    LatencyHistogram,
+    ScanMetrics,
+    StageCounters,
+)
+
+
+class TestLatencyHistogram:
+    def test_records_accumulate(self):
+        histogram = LatencyHistogram()
+        for value in (0.01, 0.02, 0.2, 2.0):
+            histogram.record(value)
+        assert histogram.total == 4
+        assert histogram.mean == pytest.approx(0.5575)
+
+    def test_percentiles_at_bucket_bounds(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.record(0.02)
+        histogram.record(8.0)
+        assert histogram.percentile(50) == 0.025
+        assert histogram.percentile(99) == 0.025
+        assert histogram.percentile(100) == 10.0
+
+    def test_overflow_bucket_is_inf(self):
+        histogram = LatencyHistogram()
+        histogram.record(100.0)
+        assert histogram.percentile(100) == float("inf")
+
+    def test_empty_percentile_zero(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+        assert LatencyHistogram().mean == 0.0
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+    def test_merge(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.record(0.01)
+        right.record(1.5)
+        left.merge(right)
+        assert left.total == 2
+        assert left.sum == pytest.approx(1.51)
+
+    def test_merge_mismatched_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(buckets=(1.0, 2.0)))
+
+
+class TestScanMetrics:
+    def test_stage_lazily_created(self):
+        metrics = ScanMetrics()
+        counters = metrics.stage("ur")
+        counters.queries += 3
+        assert metrics.stage("ur").queries == 3
+
+    def test_totals_sum_stages(self):
+        metrics = ScanMetrics()
+        metrics.stage("ur").queries = 10
+        metrics.stage("ur").timeouts = 2
+        metrics.stage("correct").queries = 5
+        assert metrics.queries == 15
+        assert metrics.timeouts == 2
+        assert metrics.loss_rate == pytest.approx(2 / 15)
+
+    def test_loss_rate_empty_is_zero(self):
+        assert ScanMetrics().loss_rate == 0.0
+
+    def test_merge_combines_stages(self):
+        left, right = ScanMetrics(), ScanMetrics()
+        left.stage("ur").queries = 1
+        right.stage("ur").queries = 2
+        right.stage("protective").skipped = 4
+        right.latency.record(0.05)
+        left.merge(right)
+        assert left.stage("ur").queries == 3
+        assert left.skipped == 4
+        assert left.latency.total == 1
+
+    def test_counters_merge(self):
+        left = StageCounters(queries=1, rate_limit_wait=2.5)
+        left.merge(StageCounters(queries=2, giveups=1, rate_limit_wait=0.5))
+        assert left.queries == 3
+        assert left.giveups == 1
+        assert left.rate_limit_wait == 3.0
+
+    def test_summary_mentions_every_stage(self):
+        metrics = ScanMetrics()
+        metrics.stage("ur").queries = 7
+        metrics.stage("protective").queries = 2
+        metrics.latency.record(0.03)
+        text = metrics.summary()
+        assert "queries: 9" in text
+        assert "[protective]" in text
+        assert "[ur]" in text
+        assert "p50/p90/p99" in text

@@ -1,0 +1,67 @@
+"""Tests for the engine API surface: policy validation and the registry."""
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_REGISTRY,
+    BatchedEngine,
+    EnginePolicy,
+    QueryEngine,
+    SequentialEngine,
+    create_engine,
+)
+from repro.net.network import SimulatedInternet
+
+
+class TestEnginePolicyValidation:
+    def test_defaults_valid(self):
+        policy = EnginePolicy()
+        assert policy.retries == 2
+        assert policy.timeout == 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrency": 0},
+            {"retries": -1},
+            {"timeout": 0.0},
+            {"timeout": -3.0},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"per_server_interval": -1.0},
+            {"circuit_failure_threshold": 0},
+            {"circuit_reset_interval": -5.0},
+        ],
+    )
+    def test_bad_knob_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EnginePolicy(**kwargs)
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = EnginePolicy(backoff_base=0.5, backoff_factor=2.0)
+        assert [policy.backoff_delay(n) for n in (1, 2, 3)] == [
+            0.5,
+            1.0,
+            2.0,
+        ]
+
+
+class TestRegistry:
+    def test_default_engine_registered(self):
+        assert DEFAULT_ENGINE in ENGINE_REGISTRY
+
+    def test_both_engines_registered(self):
+        assert ENGINE_REGISTRY["sequential"] is SequentialEngine
+        assert ENGINE_REGISTRY["batched"] is BatchedEngine
+
+    def test_unknown_engine_rejected(self):
+        network = SimulatedInternet()
+        with pytest.raises(ValueError, match="sequential"):
+            create_engine("warp-drive", network, "203.0.113.53")
+
+    def test_created_engines_satisfy_protocol(self, network):
+        for name in ENGINE_REGISTRY:
+            engine = create_engine(name, network, "203.0.113.53")
+            assert isinstance(engine, QueryEngine)
+            assert engine.name == name

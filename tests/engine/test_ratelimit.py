@@ -1,0 +1,53 @@
+"""Tests for per-server token-bucket pacing."""
+
+import pytest
+
+from repro.engine.ratelimit import RateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_first_token_immediate(self):
+        bucket = TokenBucket(130.0)
+        assert bucket.ready_at(0.0) == 0.0
+
+    def test_refill_after_interval(self):
+        bucket = TokenBucket(130.0)
+        bucket.take(0.0)
+        assert bucket.ready_at(0.0) == pytest.approx(130.0)
+        assert bucket.ready_at(130.0) == pytest.approx(130.0)
+
+    def test_partial_refill_is_continuous(self):
+        bucket = TokenBucket(100.0)
+        bucket.take(0.0)
+        assert bucket.ready_at(40.0) == pytest.approx(100.0)
+
+    def test_burst_allows_back_to_back(self):
+        bucket = TokenBucket(100.0, burst=3)
+        for _ in range(3):
+            assert bucket.ready_at(0.0) == 0.0
+            bucket.take(0.0)
+        assert bucket.ready_at(0.0) == pytest.approx(100.0)
+
+    def test_zero_interval_never_waits(self):
+        bucket = TokenBucket(0.0)
+        for _ in range(5):
+            assert bucket.ready_at(3.0) == 3.0
+            bucket.take(3.0)
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(-1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, burst=0)
+
+
+class TestRateLimiter:
+    def test_servers_independent(self):
+        limiter = RateLimiter(130.0)
+        limiter.take("10.0.0.1", 0.0)
+        assert limiter.ready_at("10.0.0.1", 0.0) == pytest.approx(130.0)
+        assert limiter.ready_at("10.0.0.2", 0.0) == 0.0
+
+    def test_enabled_property(self):
+        assert RateLimiter(1.0).enabled
+        assert not RateLimiter(0.0).enabled

@@ -89,10 +89,14 @@ class TestPipelineWithBigRecords:
         from repro.dns.name import name
 
         collector = ResponseCollector(big_zone_network)
-        urs, responses, queries, timeouts = collector.collect_urs(
+        result = collector.collect_urs(
             [NameserverTarget("10.0.0.1", "BigHost")],
             [DomainTarget(name("big.example"), 1)],
             {},
         )
-        txt_urs = [record for record in urs if record.rrtype == RRType.TXT]
+        txt_urs = [
+            record
+            for record in result.undelegated
+            if record.rrtype == RRType.TXT
+        ]
         assert len(txt_urs) == 6
