@@ -12,6 +12,20 @@ Commands mirror the paper's evaluation artifacts:
 
 Shared options: ``--seed``, ``--scale {small,default,paper}``,
 ``--post-disclosure``, ``--mx`` (future-work MX sweep).
+
+Resilience options: ``--checkpoint-dir`` writes per-stage JSON
+checkpoints, ``--resume`` continues a killed run from the last completed
+stage, and the ``--*-fault-rate`` knobs inject seeded data-source faults
+for chaos testing.
+
+Exit codes (stable contract, relied on by CI):
+
+* 0 — clean run, or degraded-but-complete (a warning banner goes to
+  stderr so operators notice without breaking scripted callers);
+* 1 — the requested validation failed (nonzero false-negative rate);
+* 2 — usage or configuration error;
+* 3 — the pipeline aborted mid-stage (checkpoints, if enabled, were
+  kept for ``--resume``).
 """
 
 from __future__ import annotations
@@ -19,6 +33,11 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+EXIT_OK = 0
+EXIT_VALIDATION_FAILED = 1
+EXIT_USAGE = 2
+EXIT_ABORTED = 3
 
 from .analysis import (
     PAPER_FIGURE3A,
@@ -41,6 +60,18 @@ from .engine import DEFAULT_ENGINE, ENGINE_REGISTRY
 from .defense import evaluate_defenses
 from .dns.rdata import RRType
 from .hosting import TABLE2_PROVIDERS
+from .intel.aggregator import ThreatIntelAggregator
+from .pipeline import (
+    CheckpointError,
+    CheckpointStore,
+    FaultPlan,
+    FlakyIPInfo,
+    FlakyPassiveDNS,
+    FlakyVendor,
+    PipelineError,
+    PipelineRunner,
+    StageFailed,
+)
 from .scenario import (
     ScenarioConfig,
     build_world,
@@ -127,6 +158,50 @@ def build_parser() -> argparse.ArgumentParser:
             "(deterministic per --seed; default 0, no loss)"
         ),
     )
+    resilience = parser.add_argument_group(
+        "resilience", "checkpointing, resumption, and chaos injection"
+    )
+    resilience.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write per-stage JSON checkpoints into DIR",
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the checkpoints in --checkpoint-dir, "
+            "re-running only stages without a completed snapshot"
+        ),
+    )
+    resilience.add_argument(
+        "--intel-fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject threat-intel vendor faults with probability P",
+    )
+    resilience.add_argument(
+        "--pdns-fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject passive-DNS faults with probability P",
+    )
+    resilience.add_argument(
+        "--ipinfo-fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject IP-metadata faults with probability P",
+    )
+    resilience.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RNG seed for the injected data-source faults (default 0)",
+    )
     parser.add_argument(
         "command",
         choices=(
@@ -161,13 +236,63 @@ def _hunter_config(args: argparse.Namespace) -> HunterConfig:
     return config
 
 
+def _scenario_fingerprint(args: argparse.Namespace) -> str:
+    """Everything outside HunterConfig that shapes the measurement —
+    resuming under a different world must be rejected, not merged."""
+    return (
+        f"scale={args.scale},seed={args.seed},"
+        f"post={args.post_disclosure},mx={args.mx},"
+        f"loss={args.loss_rate},intel={args.intel_fault_rate},"
+        f"pdns={args.pdns_fault_rate},ipinfo={args.ipinfo_fault_rate},"
+        f"fseed={args.fault_seed}"
+    )
+
+
+def _apply_faults(args: argparse.Namespace, world, hunter: URHunter) -> None:
+    """Wrap the stage-2/3 data sources in seeded fault injectors."""
+    if args.intel_fault_rate:
+        vendors = [
+            FlakyVendor(
+                vendor,
+                FaultPlan(
+                    seed=args.fault_seed + index,
+                    error_rate=args.intel_fault_rate,
+                ),
+            )
+            for index, vendor in enumerate(world.vendors)
+        ]
+        hunter.intel = ThreatIntelAggregator(vendors)
+    if args.pdns_fault_rate and world.pdns is not None:
+        hunter.pdns = FlakyPassiveDNS(
+            world.pdns,
+            FaultPlan(
+                seed=args.fault_seed + 101,
+                error_rate=args.pdns_fault_rate,
+            ),
+        )
+    if args.ipinfo_fault_rate:
+        # stage 2 only: stage-1 profile building keeps the clean source
+        hunter.stage2_ipinfo = FlakyIPInfo(
+            world.ipinfo,
+            FaultPlan(
+                seed=args.fault_seed + 202,
+                error_rate=args.ipinfo_fault_rate,
+            ),
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        print(
+            "error: --resume requires --checkpoint-dir", file=sys.stderr
+        )
+        return EXIT_USAGE
     try:
         hunter_config = _hunter_config(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(
         f"# scenario: scale={args.scale} seed={args.seed} "
         f"post_disclosure={args.post_disclosure} mx={args.mx} "
@@ -182,7 +307,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"got {args.loss_rate}",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         world.network.inject_faults(
             loss_rate=args.loss_rate, seed=args.seed
         )
@@ -192,11 +317,54 @@ def main(argv: Optional[List[str]] = None) -> int:
             [world.providers[provider] for provider in TABLE2_PROVIDERS]
         )
         print(table.text)
-        return 0
+        return EXIT_OK
 
     hunter = URHunter.from_world(world, hunter_config)
+    try:
+        _apply_faults(args, world, hunter)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    store = (
+        CheckpointStore(args.checkpoint_dir)
+        if args.checkpoint_dir
+        else None
+    )
+    runner = PipelineRunner(
+        hunter,
+        store=store,
+        resume=args.resume,
+        scenario_fingerprint=_scenario_fingerprint(args),
+    )
     needs_validation = args.command in ("run", "validate")
-    report = hunter.run(validate=needs_validation)
+    try:
+        result = runner.run(validate=needs_validation)
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ABORTED
+    except (StageFailed, PipelineError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        if store is not None:
+            print(
+                "checkpoints kept; rerun with --resume to continue",
+                file=sys.stderr,
+            )
+        return EXIT_ABORTED
+    report = result.report
+    if result.resumed:
+        print(
+            f"# resumed from checkpoint: {', '.join(result.resumed)}",
+            file=sys.stderr,
+        )
+    if report.is_degraded:
+        degraded = report.degraded
+        print(
+            "warning: degraded run — sources: "
+            + (", ".join(degraded.degraded_source_names) or "none")
+            + f"; unverifiable URs: {degraded.unverifiable_urs}",
+            file=sys.stderr,
+        )
 
     if args.command == "run":
         if args.full:
@@ -252,8 +420,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"false-negative rate on delegated records: "
             f"{report.false_negative_rate:.4f} (paper: 0.0)"
         )
-        return 0 if report.false_negative_rate == 0.0 else 1
-    return 0
+        return (
+            EXIT_OK
+            if report.false_negative_rate == 0.0
+            else EXIT_VALIDATION_FAILED
+        )
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

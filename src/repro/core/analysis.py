@@ -48,6 +48,15 @@ class MaliciousAnalysisResult:
             if verdict.is_malicious
         ]
 
+    @property
+    def partial_ip_verdicts(self) -> int:
+        """IPs whose intel verdict covers only part of the vendor fleet."""
+        return sum(
+            1
+            for verdict in self.ip_verdicts.values()
+            if verdict.intel_partial
+        )
+
 
 class MaliciousBehaviorAnalyzer:
     """Fuses threat intelligence and sandbox IDS evidence."""
@@ -107,6 +116,7 @@ class MaliciousBehaviorAnalyzer:
             vendor_count=report.vendor_count if report is not None else 0,
             tags=report.tags if report is not None else frozenset(),
             alert_categories=tuple(categories),
+            intel_partial=bool(report is not None and report.is_partial),
         )
 
     # -- corresponding IPs ----------------------------------------------------
@@ -201,6 +211,12 @@ class MaliciousBehaviorAnalyzer:
                     if ip_verdicts[address].is_malicious
                 }
                 reasons.append("ip-" + "+".join(sorted(sources)))
+            elif any(
+                ip_verdicts[address].intel_partial for address in ips
+            ):
+                # a non-malicious verdict reached over a partial vendor
+                # quorum is unverifiable, not clean
+                reasons.append("unverifiable:intel")
             refined.append(
                 ClassifiedUR(
                     record=entry.record,

@@ -51,8 +51,32 @@ from ..engine import (
     create_engine,
 )
 from ..net.network import NetworkError, SimulatedInternet
+from ..pipeline.errors import StageFailed
 from .correctness import CorrectRecordDatabase
 from .records import UndelegatedRecord, dedupe_urs
+
+
+class CollectionFailure(StageFailed):
+    """Stage-1 collection died mid-flight.
+
+    The engine's partial :class:`~repro.engine.metrics.ScanMetrics` ride
+    along so a checkpointing caller can preserve the retry/timeout
+    accounting of the attempts that *did* happen before the crash —
+    without this, a failed collection silently discarded everything the
+    scan had already measured.
+    """
+
+    def __init__(
+        self,
+        collection: str,
+        cause: BaseException,
+        metrics: Optional[ScanMetrics],
+    ):
+        super().__init__(f"stage1-collect/{collection}", cause)
+        #: which of the three collections broke ("protective"/"correct"/"ur")
+        self.collection = collection
+        #: partial engine accounting up to the failure (may be None)
+        self.metrics = metrics
 
 
 @dataclass(frozen=True)
@@ -218,18 +242,43 @@ class ResponseCollector:
         so the report sees the full scan accounting.
         """
         self.engine.metrics = ScanMetrics()
-        protective = self.collect_protective_records(
-            nameservers, probe_domain
+        protective = self._guarded(
+            "protective",
+            self.collect_protective_records,
+            nameservers,
+            probe_domain,
         )
-        successes = self.collect_correct_records(
-            domains, open_resolver_ips, correct_db
+        successes = self._guarded(
+            "correct",
+            self.collect_correct_records,
+            domains,
+            open_resolver_ips,
+            correct_db,
         )
-        result = self.collect_urs(nameservers, domains, delegated_to)
+        result = self._guarded(
+            "ur", self.collect_urs, nameservers, domains, delegated_to
+        )
         result.protective = protective
         result.correct_db = correct_db
         result.correct_successes = successes
         result.metrics = self.engine.metrics
         return result
+
+    def _guarded(self, collection: str, fn, *args):
+        """Run one collection; on failure, attach the partial metrics.
+
+        Retry/timeout counts accumulated before the crash would
+        otherwise vanish with the exception; :class:`CollectionFailure`
+        carries them so checkpoints preserve the accounting.
+        """
+        try:
+            return fn(*args)
+        except CollectionFailure:
+            raise
+        except Exception as error:
+            raise CollectionFailure(
+                collection, error, self.engine.metrics
+            ) from error
 
     # -- undelegated records ----------------------------------------------
 

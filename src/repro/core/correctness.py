@@ -17,12 +17,13 @@ pointing at parked/redirect pages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Union
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..dns.name import Name, name
 from ..dns.rdata import RRType
 from ..intel.ipinfo import IpInfoDatabase, PAGE_KEYWORDS, PageKind
 from ..intel.pdns import PassiveDnsStore
+from ..pipeline.resilience import SourceGuard, SourceHealth
 from .records import UndelegatedRecord
 
 #: Names for the five Appendix-B conditions plus the HTTP filter, used in
@@ -99,12 +100,22 @@ class CorrectRecordDatabase:
         return sorted(self._profiles)
 
 
+#: the conditions that need IP metadata (AS, geo, cert, HTTP content)
+META_CONDITIONS = (COND_AS, COND_GEO, COND_CERT, COND_HTTP)
+
+
 @dataclass(frozen=True)
 class CorrectnessVerdict:
-    """Why (or why not) a UR was excluded as a correct record."""
+    """Why (or why not) a UR was excluded as a correct record.
+
+    ``degraded_conditions`` lists enabled conditions that could not be
+    evaluated because their data source was unavailable; a suspicious
+    verdict carrying them is *unverifiable*, not definitive.
+    """
 
     is_correct: bool
     matched_condition: Optional[str] = None
+    degraded_conditions: Tuple[str, ...] = ()
 
 
 class UniformityChecker:
@@ -114,6 +125,15 @@ class UniformityChecker:
     conditions widens the suspicious set (more false positives among
     CDN-backed domains); the default enables everything, matching the
     paper.
+
+    Both external dependencies — the passive-DNS API and the IP
+    metadata service — are consulted through a
+    :class:`~repro.pipeline.resilience.SourceGuard`: a flaky source is
+    retried, a dead one is circuit-broken and its conditions are
+    *skipped* (recorded per-condition in :attr:`skipped_conditions`)
+    instead of aborting the exclusion stage.  ``ipinfo`` overrides the
+    database's own metadata service, which lets the chaos harness
+    fault-inject stage 2 without touching the stage-1 profiles.
     """
 
     def __init__(
@@ -121,6 +141,8 @@ class UniformityChecker:
         database: CorrectRecordDatabase,
         pdns: Optional[PassiveDnsStore] = None,
         enabled_conditions: FrozenSet[str] = ALL_CONDITIONS,
+        ipinfo: Optional[IpInfoDatabase] = None,
+        guard: Optional[SourceGuard] = None,
     ):
         unknown = enabled_conditions - ALL_CONDITIONS
         if unknown:
@@ -128,6 +150,34 @@ class UniformityChecker:
         self.database = database
         self.pdns = pdns
         self.enabled = enabled_conditions
+        self.ipinfo = ipinfo if ipinfo is not None else database.ipinfo
+        self.guard = guard or SourceGuard()
+        #: condition name -> number of records it could not be checked for
+        self.skipped_conditions: Dict[str, int] = {}
+
+    def _note_skips(self, conditions: Tuple[str, ...]) -> None:
+        for condition in conditions:
+            self.skipped_conditions[condition] = (
+                self.skipped_conditions.get(condition, 0) + 1
+            )
+
+    def source_health(self) -> Dict[str, SourceHealth]:
+        """Health ledgers for pdns/ipinfo (see ``DegradedSources``)."""
+        return self.guard.snapshot()
+
+    def _pdns_hit(
+        self, record: UndelegatedRecord, rrtype: int, now: float
+    ) -> Tuple[bool, bool]:
+        """(available, matched) for the pdns-history condition."""
+        ok, hit = self.guard.try_call(
+            "pdns",
+            self.pdns.record_in_history,
+            record.domain,
+            rrtype,
+            record.rdata_text,
+            now,
+        )
+        return ok, bool(hit)
 
     def check(
         self, record: UndelegatedRecord, now: float = 0.0
@@ -148,36 +198,52 @@ class UniformityChecker:
     ) -> CorrectnessVerdict:
         address = record.rdata_text
         profile = self.database.profile(record.domain)
-        meta = self.database.ipinfo.lookup(address)
+        degraded: List[str] = []
 
         if COND_IP in self.enabled and profile.ips:
             if address in profile.ips:
                 return CorrectnessVerdict(True, COND_IP)
-        if COND_AS in self.enabled and profile.asns:
+
+        # the metadata-backed conditions share one guarded lookup
+        meta = None
+        if any(cond in self.enabled for cond in META_CONDITIONS):
+            ok, meta = self.guard.try_call(
+                "ipinfo", self.ipinfo.lookup, address
+            )
+            if not ok:
+                meta = None
+                degraded.extend(
+                    cond for cond in META_CONDITIONS if cond in self.enabled
+                )
+
+        if COND_AS in self.enabled and profile.asns and meta is not None:
             if meta.asn in profile.asns and meta.asn != IpInfoDatabase.UNKNOWN_ASN:
                 return CorrectnessVerdict(True, COND_AS)
-        if COND_GEO in self.enabled and profile.countries:
+        if COND_GEO in self.enabled and profile.countries and meta is not None:
             # Plain subset semantics, faithful to Appendix B.  Geo is the
             # weakest condition (an attacker can rent a server in the same
             # country); the ablation benchmark quantifies this.
             if meta.country in profile.countries:
                 return CorrectnessVerdict(True, COND_GEO)
-        if COND_CERT in self.enabled and profile.cert_orgs:
+        if COND_CERT in self.enabled and profile.cert_orgs and meta is not None:
             if meta.cert_org is not None and meta.cert_org in profile.cert_orgs:
                 return CorrectnessVerdict(True, COND_CERT)
         if COND_PDNS in self.enabled and self.pdns is not None:
-            if self.pdns.record_in_history(
-                record.domain, RRType.A, address, now
-            ):
+            available, hit = self._pdns_hit(record, RRType.A, now)
+            if available and hit:
                 return CorrectnessVerdict(True, COND_PDNS)
-        if COND_HTTP in self.enabled:
+            if not available:
+                degraded.append(COND_PDNS)
+        if COND_HTTP in self.enabled and meta is not None:
             page = meta.http
             if page.kind in (PageKind.PARKED, PageKind.REDIRECT):
                 return CorrectnessVerdict(True, COND_HTTP)
             for kind in (PageKind.PARKED, PageKind.REDIRECT):
                 if page.contains_keywords(PAGE_KEYWORDS[kind]):
                     return CorrectnessVerdict(True, COND_HTTP)
-        return CorrectnessVerdict(False)
+        if degraded:
+            self._note_skips(tuple(degraded))
+        return CorrectnessVerdict(False, degraded_conditions=tuple(degraded))
 
     # -- TXT records ------------------------------------------------------
 
@@ -190,10 +256,14 @@ class UniformityChecker:
         if record.rdata_text in profile.txt_values:
             return CorrectnessVerdict(True, COND_IP)
         if COND_PDNS in self.enabled and self.pdns is not None:
-            if self.pdns.record_in_history(
-                record.domain, RRType.TXT, record.rdata_text, now
-            ):
+            available, hit = self._pdns_hit(record, RRType.TXT, now)
+            if available and hit:
                 return CorrectnessVerdict(True, COND_PDNS)
+            if not available:
+                self._note_skips((COND_PDNS,))
+                return CorrectnessVerdict(
+                    False, degraded_conditions=(COND_PDNS,)
+                )
         return CorrectnessVerdict(False)
 
     # -- MX records (future-work record type) ------------------------------
@@ -205,8 +275,12 @@ class UniformityChecker:
         if record.rdata_text in profile.mx_values:
             return CorrectnessVerdict(True, COND_IP)
         if COND_PDNS in self.enabled and self.pdns is not None:
-            if self.pdns.record_in_history(
-                record.domain, RRType.MX, record.rdata_text, now
-            ):
+            available, hit = self._pdns_hit(record, RRType.MX, now)
+            if available and hit:
                 return CorrectnessVerdict(True, COND_PDNS)
+            if not available:
+                self._note_skips((COND_PDNS,))
+                return CorrectnessVerdict(
+                    False, degraded_conditions=(COND_PDNS,)
+                )
         return CorrectnessVerdict(False)

@@ -36,11 +36,14 @@ from ..intel.aggregator import ThreatIntelAggregator
 from ..intel.ipinfo import IpInfoDatabase
 from ..intel.pdns import PassiveDnsStore
 from ..net.network import SimulatedInternet
+from ..pipeline.errors import SourceError
+from ..pipeline.resilience import SourceHealth, merge_health
 from ..sandbox.ids import Severity
 from ..sandbox.sandbox import SandboxReport
-from .analysis import MaliciousBehaviorAnalyzer
+from .analysis import MaliciousAnalysisResult, MaliciousBehaviorAnalyzer
 from .collector import (
     DEFAULT_QUERY_TYPES,
+    CollectionResult,
     DomainTarget,
     NameserverTarget,
     ResponseCollector,
@@ -51,8 +54,51 @@ from .correctness import (
     UniformityChecker,
 )
 from .records import ClassifiedUR, UndelegatedRecord
-from .report import MeasurementReport
-from .suspicion import SuspicionFilter
+from .report import DegradedSources, MeasurementReport
+from .suspicion import SuspicionFilter, SuspicionOutcome
+
+
+@dataclass
+class Stage1Result:
+    """Everything stage 1 (collection) handed to stage 2."""
+
+    collection: CollectionResult
+    #: virtual time when collection finished — stage 2's pdns window and
+    #: classification clock, checkpointed so a resumed run reproduces it
+    now: float
+    #: degradation notes accumulated during collection
+    notes: Tuple[str, ...] = ()
+
+
+@dataclass
+class Stage2Result:
+    """Everything stage 2 (exclusion) handed to stage 3."""
+
+    outcome: SuspicionOutcome
+    fn_rate: Optional[float] = None
+    #: pdns/ipinfo health ledgers from the uniformity checker
+    source_health: Dict[str, SourceHealth] = None  # type: ignore[assignment]
+    #: Appendix-B conditions skipped per record count
+    skipped_conditions: Dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.source_health is None:
+            self.source_health = {}
+        if self.skipped_conditions is None:
+            self.skipped_conditions = {}
+
+
+@dataclass
+class Stage3Result:
+    """Everything stage 3 (malicious-behaviour analysis) produced."""
+
+    analysis: MaliciousAnalysisResult
+    #: per-vendor health ledgers from the intel aggregator
+    source_health: Dict[str, SourceHealth] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.source_health is None:
+            self.source_health = {}
 
 
 @runtime_checkable
@@ -196,6 +242,12 @@ class URHunter:
         # Populated by run(); kept for inspection and tests.
         self.correct_db: Optional[CorrectRecordDatabase] = None
         self.last_filter: Optional[SuspicionFilter] = None
+        self.last_checker: Optional[UniformityChecker] = None
+        self.last_analyzer: Optional[MaliciousBehaviorAnalyzer] = None
+        #: optional IP-metadata source override for stage 2 (fault
+        #: injection hook); stage 1 keeps using ``self.ipinfo`` so the
+        #: correct-record profiles stay intact
+        self.stage2_ipinfo: Optional[IpInfoDatabase] = None
 
     @classmethod
     def from_world(
@@ -218,19 +270,23 @@ class URHunter:
 
     # -- pipeline --------------------------------------------------------
 
-    def run(self, validate: bool = True) -> MeasurementReport:
-        """Execute all three stages and build the report.
+    def stage1_collect(self) -> Stage1Result:
+        """Stage 1: all three collections through the scan engine.
 
-        With ``validate`` the §4.2 zero-false-negative check also runs
-        (delegated records of the target domains through the exclusion
-        stage).
+        Passive-DNS target expansion is best-effort: a dead pdns source
+        degrades the run to the configured targets instead of aborting.
         """
+        notes: List[str] = []
         domains = list(self.domains)
         if self.config.expand_pdns_subdomains and self.pdns is not None:
-            domains.extend(
-                recover_pdns_subdomains(self.pdns, domains, self.network.now)
-            )
-        # Stage 1: all three collections through the scan engine.
+            try:
+                domains.extend(
+                    recover_pdns_subdomains(
+                        self.pdns, domains, self.network.now
+                    )
+                )
+            except SourceError as error:
+                notes.append(f"pdns-expansion-skipped:{error.source}")
         correct_db = CorrectRecordDatabase(self.ipinfo)
         collection = self.collector.collect_all(
             self.nameservers,
@@ -241,18 +297,54 @@ class URHunter:
             probe_domain=self.config.probe_domain,
         )
         self.correct_db = correct_db
-        # Stage 2: exclusion.
+        return Stage1Result(
+            collection=collection,
+            now=self.network.now,
+            notes=tuple(notes),
+        )
+
+    def stage2_exclude(
+        self, stage1: Stage1Result, validate: bool = True
+    ) -> Stage2Result:
+        """Stage 2: exclusion of correct and protective records.
+
+        Both classification and the §4.2 false-negative validation use
+        ``stage1.now`` as the clock — the checkpointed collection
+        timestamp — so a resumed run reproduces the live run exactly.
+        """
+        if self.correct_db is None:
+            # resumed run: the correct-record profiles arrived with the
+            # checkpoint inside stage1.collection's database reference
+            raise RuntimeError(
+                "stage2_exclude requires correct_db; run stage1_collect "
+                "or restore it from a checkpoint first"
+            )
         checker = UniformityChecker(
-            correct_db,
+            self.correct_db,
             pdns=self.pdns,
             enabled_conditions=self.config.enabled_conditions,
+            ipinfo=self.stage2_ipinfo,
         )
-        suspicion = SuspicionFilter(checker, collection.protective)
+        self.last_checker = checker
+        suspicion = SuspicionFilter(checker, stage1.collection.protective)
         self.last_filter = suspicion
         outcome = suspicion.classify(
-            collection.undelegated, now=self.network.now
+            stage1.collection.undelegated, now=stage1.now
         )
-        # Stage 3: malicious behaviour analysis on the suspicious set.
+        fn_rate: Optional[float] = None
+        if validate:
+            fn_rate = suspicion.false_negative_rate(
+                self._delegated_records_sample(), now=stage1.now
+            )
+        return Stage2Result(
+            outcome=outcome,
+            fn_rate=fn_rate,
+            source_health=checker.source_health(),
+            skipped_conditions=dict(checker.skipped_conditions),
+        )
+
+    def stage3_analyze(self, stage2: Stage2Result) -> Stage3Result:
+        """Stage 3: malicious behaviour analysis on the suspicious set."""
         analyzer = MaliciousBehaviorAnalyzer(
             self.intel,
             self.sandbox_reports,
@@ -261,29 +353,68 @@ class URHunter:
             use_ids=self.config.use_ids,
             use_cohost_join=self.config.use_cohost_join,
         )
-        refined = analyzer.analyze(outcome.suspicious)
+        self.last_analyzer = analyzer
+        analysis = analyzer.analyze(stage2.outcome.suspicious)
+        return Stage3Result(
+            analysis=analysis,
+            source_health=self.intel.source_health(),
+        )
+
+    def build_report(
+        self,
+        stage1: Stage1Result,
+        stage2: Stage2Result,
+        stage3: Stage3Result,
+    ) -> MeasurementReport:
+        """Assemble the final report, including degradation provenance."""
         classified: List[ClassifiedUR] = [
             entry
-            for entry in outcome.classified
+            for entry in stage2.outcome.classified
             if not entry.is_suspicious
         ]
-        classified.extend(refined.classified)
-
-        fn_rate: Optional[float] = None
-        if validate:
-            fn_rate = suspicion.false_negative_rate(
-                self._delegated_records_sample(), now=self.network.now
+        classified.extend(stage3.analysis.classified)
+        unverifiable = sum(
+            1
+            for entry in classified
+            if any(
+                reason.startswith("unverifiable")
+                for reason in entry.reasons
             )
+        )
+        degraded = DegradedSources(
+            sources=merge_health(
+                stage2.source_health, stage3.source_health
+            ),
+            skipped_conditions=dict(stage2.skipped_conditions),
+            unverifiable_urs=unverifiable,
+            partial_ip_verdicts=stage3.analysis.partial_ip_verdicts,
+            notes=stage1.notes,
+        )
+        collection = stage1.collection
         return MeasurementReport(
             classified=classified,
-            ip_verdicts=refined.ip_verdicts,
+            ip_verdicts=stage3.analysis.ip_verdicts,
             queries_sent=collection.queries_sent,
             responses_seen=collection.responses_seen,
             timeouts=collection.timeouts,
-            txt_without_ip=refined.txt_without_ip,
-            false_negative_rate=fn_rate,
+            txt_without_ip=stage3.analysis.txt_without_ip,
+            false_negative_rate=stage2.fn_rate,
             scan_metrics=collection.metrics,
+            degraded=degraded if degraded.is_degraded else None,
         )
+
+    def run(self, validate: bool = True) -> MeasurementReport:
+        """Execute all three stages and build the report.
+
+        With ``validate`` the §4.2 zero-false-negative check also runs
+        (delegated records of the target domains through the exclusion
+        stage).  For checkpointed, resumable execution wrap the hunter in
+        :class:`repro.pipeline.PipelineRunner` instead.
+        """
+        stage1 = self.stage1_collect()
+        stage2 = self.stage2_exclude(stage1, validate=validate)
+        stage3 = self.stage3_analyze(stage2)
+        return self.build_report(stage1, stage2, stage3)
 
     # -- validation helper --------------------------------------------------
 

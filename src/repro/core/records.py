@@ -91,6 +91,9 @@ class IpVerdict:
     vendor_count: int = 0
     tags: FrozenSet[str] = frozenset()
     alert_categories: Tuple[str, ...] = ()
+    #: some intel vendors were unreachable — the verdict covers only the
+    #: surviving quorum (degraded run)
+    intel_partial: bool = False
 
     @property
     def is_malicious(self) -> bool:

@@ -13,11 +13,92 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from dataclasses import field
+
 from ..dns.name import Name
 from ..dns.rdata import RRType
 from ..engine.metrics import ScanMetrics
+from ..pipeline.resilience import SourceHealth
 from .records import ClassifiedUR, IpVerdict, URCategory
 from .txt import TxtCategory
+
+
+@dataclass
+class DegradedSources:
+    """Provenance of a degraded run: what the measurement *couldn't* check.
+
+    A pipeline that silently drops a dead vendor or a pDNS outage
+    produces numbers indistinguishable from a clean run's; this section
+    makes the difference explicit so downstream consumers can weigh the
+    verdicts accordingly.
+    """
+
+    #: per-source health ledgers ("vendor:VirusTotal", "pdns", "ipinfo")
+    sources: Dict[str, SourceHealth] = field(default_factory=dict)
+    #: Appendix-B condition -> records it could not be evaluated for
+    skipped_conditions: Dict[str, int] = field(default_factory=dict)
+    #: suspicious URs whose verdict is degraded rather than definitive
+    unverifiable_urs: int = 0
+    #: IPs whose intel verdict covers only part of the vendor fleet
+    partial_ip_verdicts: int = 0
+    #: free-form pipeline notes (e.g. "pdns-expansion-skipped")
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def dead_sources(self) -> List[str]:
+        """Sources whose circuit was open when the run finished."""
+        return sorted(
+            name for name, ledger in self.sources.items() if ledger.dead
+        )
+
+    @property
+    def degraded_source_names(self) -> List[str]:
+        return sorted(
+            name
+            for name, ledger in self.sources.items()
+            if ledger.degraded
+        )
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(
+            self.degraded_source_names
+            or self.skipped_conditions
+            or self.unverifiable_urs
+            or self.partial_ip_verdicts
+            or self.notes
+        )
+
+    def summary(self, indent: str = "") -> str:
+        """Multi-line human-readable degradation accounting."""
+        lines = [f"{indent}degraded sources:"]
+        for name in self.degraded_source_names:
+            ledger = self.sources[name]
+            lines.append(f"{indent}  [{name}] {ledger.describe()}")
+        if self.dead_sources:
+            lines.append(
+                f"{indent}  dead (circuit open): "
+                + ", ".join(self.dead_sources)
+            )
+        if self.skipped_conditions:
+            skipped = ", ".join(
+                f"{condition}={count}"
+                for condition, count in sorted(
+                    self.skipped_conditions.items()
+                )
+            )
+            lines.append(f"{indent}  conditions skipped: {skipped}")
+        if self.partial_ip_verdicts:
+            lines.append(
+                f"{indent}  partial IP verdicts: {self.partial_ip_verdicts}"
+            )
+        if self.unverifiable_urs:
+            lines.append(
+                f"{indent}  unverifiable URs:    {self.unverifiable_urs}"
+            )
+        for note in self.notes:
+            lines.append(f"{indent}  note: {note}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -74,6 +155,24 @@ class MeasurementReport:
     false_negative_rate: Optional[float] = None
     #: engine observability for the whole stage-1 scan (all collections)
     scan_metrics: Optional[ScanMetrics] = None
+    #: set when any data source degraded during the run (None = clean)
+    degraded: Optional[DegradedSources] = None
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded is not None and self.degraded.is_degraded
+
+    @property
+    def unverifiable(self) -> List[ClassifiedUR]:
+        """URs whose verdict rests on an incomplete evidence base."""
+        return [
+            entry
+            for entry in self.classified
+            if any(
+                reason.startswith("unverifiable")
+                for reason in entry.reasons
+            )
+        ]
 
     # -- basic partitions ---------------------------------------------------
 
@@ -243,7 +342,10 @@ class MeasurementReport:
             return {}
         counts: Dict[str, int] = {}
         for verdict in malicious:
-            for tag in verdict.tags:
+            # sorted: frozenset iteration order is hash-seed dependent,
+            # and stable tie-breaking must survive process boundaries
+            # (checkpoint resume compares reports byte-for-byte)
+            for tag in sorted(verdict.tags):
                 counts[tag] = counts.get(tag, 0) + 1
         return {
             tag: 100.0 * count / len(malicious)
@@ -300,4 +402,6 @@ class MeasurementReport:
         if self.scan_metrics is not None:
             lines.append("scan engine metrics:")
             lines.append(self.scan_metrics.summary(indent="  "))
+        if self.is_degraded:
+            lines.append(self.degraded.summary())
         return "\n".join(lines)

@@ -50,6 +50,19 @@ class SuspicionOutcome:
             if entry.category is URCategory.PROTECTIVE
         ]
 
+    @property
+    def unverifiable(self) -> List[ClassifiedUR]:
+        """Suspicious URs whose exclusion could not be fully evaluated
+        (a condition's data source was down) — degraded, not definitive."""
+        return [
+            entry
+            for entry in self.classified
+            if entry.is_suspicious
+            and any(
+                reason.startswith("unverifiable") for reason in entry.reasons
+            )
+        ]
+
     def counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
         for entry in self.classified:
@@ -105,10 +118,17 @@ class SuspicionFilter:
                 txt_category=txt_category,
             )
 
+        reasons = ["survived-exclusion"]
+        if verdict.degraded_conditions:
+            # the record survived, but some enabled conditions never ran:
+            # a downgraded, unverifiable verdict the report must flag
+            reasons.append(
+                "unverifiable:" + "+".join(sorted(verdict.degraded_conditions))
+            )
         return ClassifiedUR(
             record=record,
             category=URCategory.UNKNOWN,
-            reasons=("survived-exclusion",),
+            reasons=tuple(reasons),
             txt_category=txt_category,
         )
 

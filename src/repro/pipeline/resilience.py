@@ -1,0 +1,245 @@
+"""Retry, circuit breaking, and health accounting for data sources.
+
+Stage 1 already survives flaky *nameservers* through the scan engine;
+this module gives stages 2 and 3 the same protection against flaky
+*data sources* (threat-intel vendors, passive DNS, IP metadata).  It
+deliberately reuses the engine's primitives — a
+:class:`~repro.engine.breaker.CircuitBreaker` keyed by source name and a
+:class:`~repro.engine.ratelimit.RateLimiter` for post-429 cool-downs —
+so the whole system shares one fault-handling vocabulary.
+
+The central object is :class:`SourceGuard`: every call to a guarded
+source goes through :meth:`SourceGuard.try_call`, which retries
+:class:`~repro.pipeline.errors.SourceError` with exponential backoff,
+trips the source's circuit after consecutive exhausted-retry failures,
+and keeps a :class:`SourceHealth` ledger the final report surfaces as
+its ``DegradedSources`` section.  The guard never raises: an
+unavailable source yields ``(False, None)`` and the caller degrades to
+whatever evidence survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from ..engine.breaker import CircuitBreaker, CircuitState
+from ..engine.ratelimit import RateLimiter
+from .errors import SourceError, SourceRateLimited
+
+
+@dataclass
+class SourceHealth:
+    """Everything one guarded source did during a run."""
+
+    name: str
+    #: guarded calls requested (including skipped ones)
+    calls: int = 0
+    #: calls that returned a value (possibly after retries)
+    successes: int = 0
+    #: calls abandoned after exhausting the retry budget
+    failures: int = 0
+    #: individual re-attempts after a SourceError
+    retries: int = 0
+    #: SourceRateLimited errors observed
+    rate_limited: int = 0
+    #: calls never attempted (open circuit or rate-limit cool-down)
+    skipped: int = 0
+    #: virtual seconds of backoff the retries accounted for
+    backoff_wait: float = 0.0
+    #: breaker state at snapshot time ("closed" / "open" / "half_open")
+    state: str = CircuitState.CLOSED.value
+
+    @property
+    def degraded(self) -> bool:
+        """Did this source contribute less than a clean run would have?"""
+        return self.failures > 0 or self.skipped > 0
+
+    @property
+    def dead(self) -> bool:
+        """Is the source's circuit tripped (open or probing half-open)?
+
+        Half-open counts: it means the last attempt failed and the
+        breaker is still waiting for a successful probe.
+        """
+        return self.state != CircuitState.CLOSED.value
+
+    def merge(self, other: "SourceHealth") -> None:
+        """Fold another ledger for the same source into this one."""
+        self.calls += other.calls
+        self.successes += other.successes
+        self.failures += other.failures
+        self.retries += other.retries
+        self.rate_limited += other.rate_limited
+        self.skipped += other.skipped
+        self.backoff_wait += other.backoff_wait
+        # the later snapshot wins the state field
+        self.state = other.state
+
+    def describe(self) -> str:
+        parts = [
+            f"calls={self.calls}",
+            f"ok={self.successes}",
+            f"fail={self.failures}",
+            f"retry={self.retries}",
+            f"skip={self.skipped}",
+        ]
+        if self.rate_limited:
+            parts.append(f"429={self.rate_limited}")
+        if self.state != CircuitState.CLOSED.value:
+            parts.append(f"circuit={self.state}")
+        return " ".join(parts)
+
+
+class SourceGuard:
+    """Retry-with-backoff plus a per-source circuit breaker.
+
+    The guard has no wall clock; its "time" is a monotonic call counter,
+    so a ``reset_interval`` of 16 means an open circuit re-probes after
+    16 further guarded calls (to any source).  That keeps behaviour
+    fully deterministic under test and under the simulator.
+    """
+
+    def __init__(
+        self,
+        retries: int = 2,
+        failure_threshold: int = 3,
+        reset_interval: float = 16.0,
+        backoff_base: float = 0.5,
+        backoff_factor: float = 2.0,
+        ratelimit_cooldown: float = 8.0,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {backoff_base}"
+            )
+        if backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {backoff_factor}"
+            )
+        if ratelimit_cooldown < 0:
+            raise ValueError(
+                f"ratelimit_cooldown must be >= 0, got {ratelimit_cooldown}"
+            )
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            reset_interval=reset_interval,
+        )
+        #: post-rate-limit cool-down: a 429 drains the source's token and
+        #: calls made before it regenerates are skipped, not sent
+        self.limiter = RateLimiter(interval=ratelimit_cooldown)
+        self._clock = 0.0
+        self._health: Dict[str, SourceHealth] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def health(self, source: str) -> SourceHealth:
+        ledger = self._health.get(source)
+        if ledger is None:
+            ledger = self._health[source] = SourceHealth(name=source)
+        return ledger
+
+    def snapshot(self) -> Dict[str, SourceHealth]:
+        """A copy of every ledger with its live circuit state stamped in."""
+        out: Dict[str, SourceHealth] = {}
+        for source, ledger in self._health.items():
+            out[source] = SourceHealth(
+                name=ledger.name,
+                calls=ledger.calls,
+                successes=ledger.successes,
+                failures=ledger.failures,
+                retries=ledger.retries,
+                rate_limited=ledger.rate_limited,
+                skipped=ledger.skipped,
+                backoff_wait=ledger.backoff_wait,
+                state=self.breaker.state(source).value,
+            )
+        return out
+
+    @property
+    def degraded_sources(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                source
+                for source, ledger in self._health.items()
+                if ledger.degraded
+            )
+        )
+
+    # -- the guarded call --------------------------------------------------
+
+    def try_call(
+        self,
+        source: str,
+        fn: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> Tuple[bool, Any]:
+        """Call ``fn`` under protection; never raises :class:`SourceError`.
+
+        Returns ``(True, value)`` on success, ``(False, None)`` when the
+        source is unavailable (circuit open, in rate-limit cool-down, or
+        the retry budget ran dry).  Non-:class:`SourceError` exceptions
+        propagate — the guard shields against flaky dependencies, not
+        against bugs.
+        """
+        self._clock += 1.0
+        ledger = self.health(source)
+        ledger.calls += 1
+        if not self.breaker.allow(source, self._clock):
+            ledger.skipped += 1
+            return False, None
+        if self.limiter.ready_at(source, self._clock) > self._clock:
+            ledger.skipped += 1
+            return False, None
+        attempt = 0
+        while True:
+            try:
+                value = fn(*args, **kwargs)
+            except SourceError as error:
+                if isinstance(error, SourceRateLimited):
+                    ledger.rate_limited += 1
+                    self.limiter.take(source, self._clock)
+                attempt += 1
+                if attempt <= self.retries:
+                    ledger.retries += 1
+                    ledger.backoff_wait += self.backoff_base * (
+                        self.backoff_factor ** (attempt - 1)
+                    )
+                    continue
+                ledger.failures += 1
+                self.breaker.record_failure(source, self._clock)
+                return False, None
+            self.breaker.record_success(source)
+            ledger.successes += 1
+            return True, value
+
+
+def merge_health(
+    *snapshots: Dict[str, SourceHealth],
+) -> Dict[str, SourceHealth]:
+    """Merge per-stage health snapshots into one ledger per source."""
+    merged: Dict[str, SourceHealth] = {}
+    for snapshot in snapshots:
+        for source, ledger in snapshot.items():
+            existing = merged.get(source)
+            if existing is None:
+                merged[source] = SourceHealth(
+                    name=ledger.name,
+                    calls=ledger.calls,
+                    successes=ledger.successes,
+                    failures=ledger.failures,
+                    retries=ledger.retries,
+                    rate_limited=ledger.rate_limited,
+                    skipped=ledger.skipped,
+                    backoff_wait=ledger.backoff_wait,
+                    state=ledger.state,
+                )
+            else:
+                existing.merge(ledger)
+    return merged

@@ -105,3 +105,93 @@ class TestAggregator:
         reports = aggregator.bulk_report(["6.6.6.6", "9.9.9.9"])
         assert reports["6.6.6.6"].is_malicious
         assert not reports["9.9.9.9"].is_malicious
+
+
+class CountingVendor(SecurityVendor):
+    """A vendor that counts its read traffic (cache verification)."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.reads = 0
+
+    def is_malicious(self, address):
+        self.reads += 1
+        return super().is_malicious(address)
+
+
+class TestAggregatorCache:
+    @pytest.fixture
+    def vendor(self):
+        vendor = CountingVendor("VT")
+        vendor.flag("6.6.6.6", [IntelTag.TROJAN])
+        return vendor
+
+    def test_report_is_memoized(self, vendor):
+        aggregator = ThreatIntelAggregator([vendor])
+        first = aggregator.report("6.6.6.6")
+        second = aggregator.report("6.6.6.6")
+        assert first == second
+        assert vendor.reads == 1
+        info = aggregator.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+
+    def test_query_helpers_share_one_probe(self, vendor):
+        # is_flagged + vendor_count + tags used to cost three vendor
+        # round-trips each; they now share one cached report
+        aggregator = ThreatIntelAggregator([vendor])
+        assert aggregator.is_flagged("6.6.6.6")
+        assert aggregator.vendor_count("6.6.6.6") == 1
+        assert aggregator.tags("6.6.6.6") == {IntelTag.TROJAN}
+        assert vendor.reads == 1
+
+    def test_flag_invalidates_cached_verdict(self, vendor):
+        aggregator = ThreatIntelAggregator([vendor])
+        assert not aggregator.is_flagged("9.9.9.9")
+        vendor.flag("9.9.9.9")
+        # the fleet version bumped: the stale entry must not be served
+        assert aggregator.is_flagged("9.9.9.9")
+
+    def test_clear_invalidates_cached_verdict(self, vendor):
+        aggregator = ThreatIntelAggregator([vendor])
+        assert aggregator.is_flagged("6.6.6.6")
+        vendor.clear("6.6.6.6")
+        assert not aggregator.is_flagged("6.6.6.6")
+
+    def test_lru_eviction_bounds_the_cache(self, vendor):
+        aggregator = ThreatIntelAggregator([vendor], cache_size=2)
+        for address in ("1.1.1.1", "2.2.2.2", "3.3.3.3"):
+            aggregator.report(address)
+        info = aggregator.cache_info()
+        assert info["size"] == 2
+        assert info["max_size"] == 2
+        # the oldest entry was evicted: re-reading it is a miss
+        reads_before = vendor.reads
+        aggregator.report("1.1.1.1")
+        assert vendor.reads == reads_before + 1
+
+    def test_cache_clear(self, vendor):
+        aggregator = ThreatIntelAggregator([vendor])
+        aggregator.report("6.6.6.6")
+        aggregator.cache_clear()
+        assert aggregator.cache_info()["size"] == 0
+
+    def test_cache_size_validation(self, vendor):
+        with pytest.raises(ValueError):
+            ThreatIntelAggregator([vendor], cache_size=0)
+
+    def test_failed_vendor_excluded_from_quorum(self):
+        from repro.pipeline import FaultPlan, FlakyVendor
+
+        healthy = SecurityVendor("QAX")
+        healthy.flag("6.6.6.6")
+        broken = SecurityVendor("VT")
+        broken.flag("6.6.6.6")
+        aggregator = ThreatIntelAggregator(
+            [FlakyVendor(broken, FaultPlan(dead=True)), healthy]
+        )
+        report = aggregator.report("6.6.6.6")
+        assert report.is_malicious
+        assert report.flagging_vendors == {"QAX"}
+        assert report.failed_vendors == {"VT"}
+        assert report.is_partial

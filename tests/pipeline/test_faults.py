@@ -1,0 +1,175 @@
+"""Tests for the fault injectors and the SourceGuard."""
+
+import pytest
+
+from repro.intel.ipinfo import IpInfoDatabase
+from repro.intel.pdns import PassiveDnsStore
+from repro.intel.vendor import SecurityVendor
+from repro.pipeline import (
+    FaultPlan,
+    FlakyIPInfo,
+    FlakyPassiveDNS,
+    FlakyVendor,
+    SourceError,
+    SourceGuard,
+    SourceRateLimited,
+    SourceTimeout,
+)
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(ratelimit_share=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(fail_first=-1)
+
+    def test_dead_plan_always_faults(self):
+        plan = FaultPlan(dead=True)
+        for _ in range(5):
+            with pytest.raises(SourceError):
+                plan.check("src")
+        assert plan.calls == 5
+        assert plan.faults == 5
+
+    def test_fail_first_then_succeeds(self):
+        plan = FaultPlan(fail_first=2)
+        for _ in range(2):
+            with pytest.raises(SourceError):
+                plan.check("src")
+        plan.check("src")  # third call succeeds
+        assert plan.faults == 2
+
+    def test_seeded_schedule_is_deterministic(self):
+        def schedule(seed):
+            plan = FaultPlan(seed=seed, error_rate=0.5)
+            out = []
+            for _ in range(50):
+                try:
+                    plan.check("src")
+                    out.append("ok")
+                except SourceRateLimited:
+                    out.append("429")
+                except SourceTimeout:
+                    out.append("timeout")
+            return out
+
+        assert schedule(11) == schedule(11)
+        assert schedule(11) != schedule(12)
+
+    def test_ratelimit_share_extremes(self):
+        all_429 = FaultPlan(dead=True, ratelimit_share=1.0)
+        with pytest.raises(SourceRateLimited):
+            all_429.check("src")
+        all_timeout = FaultPlan(dead=True, ratelimit_share=0.0)
+        with pytest.raises(SourceTimeout):
+            all_timeout.check("src")
+
+
+class TestFlakyWrappers:
+    def test_vendor_writes_pass_through(self):
+        vendor = SecurityVendor("VT")
+        flaky = FlakyVendor(vendor, FaultPlan(dead=True))
+        flaky.flag("6.6.6.6")  # setup path: must not fault
+        assert vendor.is_malicious("6.6.6.6")
+        with pytest.raises(SourceError):
+            flaky.is_malicious("6.6.6.6")
+        flaky.clear("6.6.6.6")
+        assert not vendor.is_malicious("6.6.6.6")
+
+    def test_vendor_proxies_identity(self):
+        vendor = SecurityVendor("VT")
+        vendor.flag("6.6.6.6")
+        flaky = FlakyVendor(vendor, FaultPlan())
+        assert flaky.name == "VT"
+        assert flaky.version == vendor.version
+        assert len(flaky) == 1
+        assert flaky.is_malicious("6.6.6.6")
+
+    def test_pdns_reads_fault_writes_pass(self):
+        store = PassiveDnsStore()
+        flaky = FlakyPassiveDNS(store, FaultPlan(dead=True))
+        flaky.observe("example.com", 1, "10.0.0.1", 100.0)
+        assert len(store) == 1
+        with pytest.raises(SourceError):
+            flaky.record_in_history("example.com", 1, "10.0.0.1", 200.0)
+        with pytest.raises(SourceError):
+            flaky.domains()
+
+    def test_ipinfo_lookup_faults(self):
+        info = IpInfoDatabase()
+        info.register_prefix("10.0.0.0/8", 64500, "TestNet", "US")
+        flaky = FlakyIPInfo(info, FaultPlan(dead=True))
+        with pytest.raises(SourceError):
+            flaky.lookup("10.0.0.1")
+        clean = FlakyIPInfo(info, FaultPlan())
+        assert clean.asn("10.0.0.1") == 64500
+
+
+class TestSourceGuard:
+    def test_retries_ride_out_transient_outage(self):
+        plan = FaultPlan(fail_first=2)
+        guard = SourceGuard(retries=2)
+        ok, value = guard.try_call(
+            "src", lambda: (plan.check("src"), "data")[1]
+        )
+        assert ok and value == "data"
+        health = guard.snapshot()["src"]
+        assert health.retries == 2
+        assert health.failures == 0
+        assert not health.degraded
+
+    def test_dead_source_opens_circuit_then_skips(self):
+        plan = FaultPlan(dead=True)
+        guard = SourceGuard(retries=0, failure_threshold=3)
+
+        def call():
+            plan.check("src")
+
+        for _ in range(3):
+            assert guard.try_call("src", call) == (False, None)
+        # circuit is now open: the call is skipped, not attempted
+        attempts_before = plan.calls
+        assert guard.try_call("src", call) == (False, None)
+        assert plan.calls == attempts_before
+        health = guard.snapshot()["src"]
+        assert health.dead
+        assert health.skipped == 1
+
+    def test_ratelimit_triggers_cooldown_skip(self):
+        guard = SourceGuard(retries=0, ratelimit_cooldown=8.0)
+
+        def always_429():
+            raise SourceRateLimited("src")
+
+        assert guard.try_call("src", always_429) == (False, None)
+        # within the cool-down window the next call is skipped unsent
+        assert guard.try_call("src", lambda: "data") == (False, None)
+        health = guard.snapshot()["src"]
+        assert health.rate_limited == 1
+        assert health.skipped == 1
+
+    def test_non_source_errors_propagate(self):
+        guard = SourceGuard()
+
+        def boom():
+            raise RuntimeError("bug, not flakiness")
+
+        with pytest.raises(RuntimeError):
+            guard.try_call("src", boom)
+
+    def test_backoff_accounting(self):
+        plan = FaultPlan(fail_first=2)
+        guard = SourceGuard(
+            retries=2, backoff_base=0.5, backoff_factor=2.0
+        )
+        guard.try_call("src", lambda: plan.check("src"))
+        assert guard.snapshot()["src"].backoff_wait == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourceGuard(retries=-1)
+        with pytest.raises(ValueError):
+            SourceGuard(backoff_factor=0.5)

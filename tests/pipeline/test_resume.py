@@ -1,0 +1,172 @@
+"""Resume semantics: checkpointed stages replay without re-scanning.
+
+The acceptance bar (ISSUE, PR 2): a run killed after stage 1 and resumed
+must produce a byte-identical report, with the resumed stages doing zero
+live queries.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import URHunter
+from repro.pipeline import (
+    CheckpointStore,
+    PipelineRunner,
+    STAGE1,
+    STAGE2,
+    STAGE3,
+    STAGE_ORDER,
+)
+
+from .conftest import make_world
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CLI = [sys.executable, "-m", "repro", "--scale", "small"]
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("URHUNTER_CRASH_STAGE", None)
+    return env
+
+
+class TestInProcessResume:
+    def test_stage_order_constants(self):
+        assert STAGE_ORDER == (STAGE1, STAGE2, STAGE3)
+
+    def test_runner_without_store_matches_plain_run(self, baseline_report):
+        hunter = URHunter.from_world(make_world())
+        result = PipelineRunner(hunter).run()
+        assert result.executed == STAGE_ORDER
+        assert result.resumed == ()
+        assert result.report.summary() == baseline_report.summary()
+
+    def test_resume_requires_store(self):
+        hunter = URHunter.from_world(make_world())
+        with pytest.raises(ValueError, match="checkpoint store"):
+            PipelineRunner(hunter, resume=True)
+
+    def test_unknown_stop_after_rejected(self):
+        hunter = URHunter.from_world(make_world())
+        with pytest.raises(ValueError, match="unknown stage"):
+            PipelineRunner(hunter).run(stop_after="stage9-profit")
+
+    def test_stop_resume_is_byte_identical_with_zero_queries(
+        self, tmp_path, baseline_report
+    ):
+        first = URHunter.from_world(make_world())
+        halted = PipelineRunner(
+            first, store=CheckpointStore(tmp_path)
+        ).run(stop_after=STAGE1)
+        assert halted.report is None
+        assert halted.executed == (STAGE1,)
+
+        second = URHunter.from_world(make_world())
+        resumed = PipelineRunner(
+            second, store=CheckpointStore(tmp_path), resume=True
+        ).run()
+        assert resumed.resumed == (STAGE1,)
+        assert resumed.executed == (STAGE2, STAGE3)
+        # the resumed stage did not re-send a single query
+        assert second.engine.metrics.queries == 0
+        assert resumed.report.summary() == baseline_report.summary()
+
+    def test_full_resume_replays_all_stages(
+        self, tmp_path, baseline_report
+    ):
+        store = CheckpointStore(tmp_path)
+        PipelineRunner(
+            URHunter.from_world(make_world()), store=store
+        ).run()
+        replayer = URHunter.from_world(make_world())
+        replay = PipelineRunner(
+            replayer, store=CheckpointStore(tmp_path), resume=True
+        ).run()
+        assert replay.resumed == STAGE_ORDER
+        assert replay.executed == ()
+        assert replayer.engine.metrics.queries == 0
+        assert replay.report.summary() == baseline_report.summary()
+
+    def test_unvalidated_checkpoint_cannot_satisfy_validating_resume(
+        self, tmp_path
+    ):
+        PipelineRunner(
+            URHunter.from_world(make_world()),
+            store=CheckpointStore(tmp_path),
+        ).run(validate=False)
+        resume = PipelineRunner(
+            URHunter.from_world(make_world()),
+            store=CheckpointStore(tmp_path),
+            resume=True,
+        ).run(validate=True)
+        # stage 2 re-ran to compute the FN rate the checkpoint lacked
+        assert STAGE2 in resume.executed
+        assert resume.report.false_negative_rate is not None
+
+    def test_scan_metrics_survive_resume(self, tmp_path, baseline_report):
+        store = CheckpointStore(tmp_path)
+        PipelineRunner(
+            URHunter.from_world(make_world()), store=store
+        ).run(stop_after=STAGE1)
+        resumed = PipelineRunner(
+            URHunter.from_world(make_world()),
+            store=CheckpointStore(tmp_path),
+            resume=True,
+        ).run()
+        live = baseline_report.scan_metrics
+        replay = resumed.report.scan_metrics
+        assert replay.queries == live.queries
+        assert replay.timeouts == live.timeouts
+        assert replay.summary() == live.summary()
+
+
+class TestKillAndResumeSubprocess:
+    """The CI smoke test, in miniature: SIGTERM mid-stage-2, resume,
+    compare stdout byte-for-byte against an uninterrupted run."""
+
+    def test_sigterm_then_resume_byte_identical(self, tmp_path):
+        baseline = subprocess.run(
+            CLI + ["--checkpoint-dir", str(tmp_path / "base"), "run"],
+            capture_output=True,
+            env=cli_env(),
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert baseline.returncode == 0, baseline.stderr.decode()
+
+        crash_env = cli_env()
+        crash_env["URHUNTER_CRASH_STAGE"] = STAGE2
+        crashed = subprocess.run(
+            CLI + ["--checkpoint-dir", str(tmp_path / "ckpt"), "run"],
+            capture_output=True,
+            env=crash_env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        # killed by SIGTERM: raw -15 or shell-style 143
+        assert crashed.returncode in (-signal.SIGTERM, 143)
+        assert (tmp_path / "ckpt" / f"{STAGE1}.json").exists()
+        assert not (tmp_path / "ckpt" / f"{STAGE2}.json").exists()
+
+        resumed = subprocess.run(
+            CLI
+            + [
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+                "--resume",
+                "run",
+            ],
+            capture_output=True,
+            env=cli_env(),
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert resumed.returncode == 0, resumed.stderr.decode()
+        assert resumed.stdout == baseline.stdout
+        assert b"resumed from checkpoint" in resumed.stderr
