@@ -158,6 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
             "(deterministic per --seed; default 0, no loss)"
         ),
     )
+    stage2 = parser.add_argument_group(
+        "stage 2", "exclusion-stage parallelism and caching"
+    )
+    stage2.add_argument(
+        "--stage2-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker threads for stage-2 classification (default 1; "
+            "the report is byte-identical across worker counts)"
+        ),
+    )
+    stage2.add_argument(
+        "--no-stage2-memoize",
+        action="store_true",
+        help=(
+            "disable per-key verdict memoization and classify every "
+            "record independently (debugging aid)"
+        ),
+    )
     resilience = parser.add_argument_group(
         "resilience", "checkpointing, resumption, and chaos injection"
     )
@@ -230,6 +251,8 @@ def _hunter_config(args: argparse.Namespace) -> HunterConfig:
         max_concurrency=args.max_concurrency,
         retries=args.retries,
         timeout=args.timeout,
+        stage2_workers=args.stage2_workers,
+        stage2_memoize=not args.no_stage2_memoize,
     )
     if args.mx:
         config.query_types = (RRType.A, RRType.TXT, RRType.MX)
@@ -363,6 +386,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "warning: degraded run — sources: "
             + (", ".join(degraded.degraded_source_names) or "none")
             + f"; unverifiable URs: {degraded.unverifiable_urs}",
+            file=sys.stderr,
+        )
+    if report.stage2_metrics is not None:
+        # stderr, not stdout: wall-clock throughput varies run to run and
+        # would break the byte-compared resume transcripts
+        perf = report.stage2_metrics
+        print(
+            f"# stage-2 perf: {perf.records_per_s:,.0f} records/s  "
+            f"workers={perf.workers}  wall={perf.wall_s * 1000:.1f}ms",
             file=sys.stderr,
         )
 

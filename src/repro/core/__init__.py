@@ -34,6 +34,7 @@ from .longitudinal import (
     Snapshot,
     diff_reports,
 )
+from .parallel import Stage2Executor, Stage2Metrics
 from .records import (
     ClassifiedUR,
     IpVerdict,
@@ -75,6 +76,8 @@ __all__ = [
     "ProtectiveFingerprint",
     "ReportDiff",
     "ResponseCollector",
+    "Stage2Executor",
+    "Stage2Metrics",
     "SuspicionFilter",
     "Snapshot",
     "SuspicionOutcome",

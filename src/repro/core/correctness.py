@@ -16,6 +16,7 @@ pointing at parked/redirect pages.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
@@ -72,6 +73,10 @@ class CorrectRecordDatabase:
     def __init__(self, ipinfo: IpInfoDatabase):
         self.ipinfo = ipinfo
         self._profiles: Dict[Name, DomainProfile] = {}
+        # domains() is called on hot report paths; re-sorting every call
+        # is wasted work, so the sorted view is cached and invalidated
+        # whenever a new profile appears
+        self._domains_cache: Optional[List[Name]] = None
 
     def profile(self, domain: Union[str, Name]) -> DomainProfile:
         domain = name(domain)
@@ -79,6 +84,7 @@ class CorrectRecordDatabase:
         if existing is None:
             existing = DomainProfile(domain=domain)
             self._profiles[domain] = existing
+            self._domains_cache = None
         return existing
 
     def observe_a(self, domain: Union[str, Name], address: str) -> None:
@@ -97,7 +103,9 @@ class CorrectRecordDatabase:
         )
 
     def domains(self) -> List[Name]:
-        return sorted(self._profiles)
+        if self._domains_cache is None:
+            self._domains_cache = sorted(self._profiles)
+        return list(self._domains_cache)
 
 
 #: the conditions that need IP metadata (AS, geo, cert, HTTP content)
@@ -154,6 +162,63 @@ class UniformityChecker:
         self.guard = guard or SourceGuard()
         #: condition name -> number of records it could not be checked for
         self.skipped_conditions: Dict[str, int] = {}
+        # verdict memo: distinct (domain, rrtype, rdata) keys repeat once
+        # per nameserver serving them, so each is evaluated once and the
+        # verdict fanned back out (see check_cached)
+        self._memo: Dict[Tuple, CorrectnessVerdict] = {}
+        self._memo_lock = threading.Lock()
+        #: memo accounting, read by Stage2Metrics
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    @property
+    def memoizable(self) -> bool:
+        """May repeat evaluations be answered from the verdict memo?
+
+        Only when every consulted source is *deterministic* — repeat
+        calls provably return the same answer and carry no call-count
+        dependent side effects.  The in-memory stores qualify; fault
+        injectors (chaos mode) do not, so degraded runs take the exact
+        per-record path and stay byte-identical to the naive
+        implementation.
+        """
+        if not getattr(self.ipinfo, "deterministic", False):
+            return False
+        if self.pdns is not None and not getattr(
+            self.pdns, "deterministic", False
+        ):
+            return False
+        return True
+
+    def check_cached(
+        self, record: UndelegatedRecord, now: float = 0.0
+    ) -> CorrectnessVerdict:
+        """Like :meth:`check`, but memoized per distinct UR key.
+
+        The cache key folds in the guard's degraded-event counter: any
+        change in source availability invalidates verdicts cached under
+        the previous state, so a memoized answer is always one the live
+        path would have produced under the current conditions.
+        """
+        if not self.memoizable:
+            return self.check(record, now)
+        key = (
+            record.domain,
+            record.rrtype,
+            record.rdata_text,
+            now,
+            self.guard.degraded_events,
+        )
+        with self._memo_lock:
+            hit = self._memo.get(key)
+            if hit is not None:
+                self.memo_hits += 1
+                return hit
+        verdict = self.check(record, now)
+        with self._memo_lock:
+            self.memo_misses += 1
+            self._memo[key] = verdict
+        return verdict
 
     def _note_skips(self, conditions: Tuple[str, ...]) -> None:
         for condition in conditions:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from typing import (
+    ClassVar,
     Dict,
     FrozenSet,
     List,
@@ -53,6 +54,7 @@ from .correctness import (
     CorrectRecordDatabase,
     UniformityChecker,
 )
+from .parallel import Stage2Metrics
 from .records import ClassifiedUR, UndelegatedRecord
 from .report import DegradedSources, MeasurementReport
 from .suspicion import SuspicionFilter, SuspicionOutcome
@@ -80,6 +82,8 @@ class Stage2Result:
     source_health: Dict[str, SourceHealth] = None  # type: ignore[assignment]
     #: Appendix-B conditions skipped per record count
     skipped_conditions: Dict[str, int] = None  # type: ignore[assignment]
+    #: performance counters of the main classification pass
+    metrics: Optional[Stage2Metrics] = None
 
     def __post_init__(self) -> None:
         if self.source_health is None:
@@ -159,6 +163,19 @@ class HunterConfig:
     retries: int = 2
     #: virtual seconds a lost query costs before giving up
     timeout: float = 5.0
+    #: worker threads for stage-2 classification (output is byte-identical
+    #: across worker counts; see repro.core.parallel)
+    stage2_workers: int = 1
+    #: memoize uniformity verdicts per distinct (domain, rrtype, rdata)
+    #: key when the sources are deterministic
+    stage2_memoize: bool = True
+
+    #: knobs that do not change *what* the pipeline computes, only how
+    #: fast — excluded from the checkpoint fingerprint so a run may be
+    #: resumed under a different worker count or memoization setting
+    FINGERPRINT_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset(
+        {"stage2_workers", "stage2_memoize"}
+    )
 
     def __post_init__(self) -> None:
         unknown = frozenset(self.enabled_conditions) - ALL_CONDITIONS
@@ -188,6 +205,10 @@ class HunterConfig:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.stage2_workers < 1:
+            raise ValueError(
+                f"stage2_workers must be >= 1, got {self.stage2_workers}"
+            )
 
     def engine_policy(self) -> EnginePolicy:
         """The engine policy implied by this configuration."""
@@ -326,11 +347,18 @@ class URHunter:
             ipinfo=self.stage2_ipinfo,
         )
         self.last_checker = checker
-        suspicion = SuspicionFilter(checker, stage1.collection.protective)
+        suspicion = SuspicionFilter(
+            checker,
+            stage1.collection.protective,
+            workers=self.config.stage2_workers,
+            memoize=self.config.stage2_memoize,
+        )
         self.last_filter = suspicion
         outcome = suspicion.classify(
             stage1.collection.undelegated, now=stage1.now
         )
+        # snapshot before the FN validation below reruns classify()
+        metrics = suspicion.last_metrics
         fn_rate: Optional[float] = None
         if validate:
             fn_rate = suspicion.false_negative_rate(
@@ -341,6 +369,7 @@ class URHunter:
             fn_rate=fn_rate,
             source_health=checker.source_health(),
             skipped_conditions=dict(checker.skipped_conditions),
+            metrics=metrics,
         )
 
     def stage3_analyze(self, stage2: Stage2Result) -> Stage3Result:
@@ -400,6 +429,7 @@ class URHunter:
             txt_without_ip=stage3.analysis.txt_without_ip,
             false_negative_rate=stage2.fn_rate,
             scan_metrics=collection.metrics,
+            stage2_metrics=stage2.metrics,
             degraded=degraded if degraded.is_degraded else None,
         )
 

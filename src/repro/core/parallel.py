@@ -1,0 +1,196 @@
+"""Parallel stage-2 execution and its observability block.
+
+Stage 2 (exclusion) is embarrassingly parallel *across distinct UR
+keys*: every record sharing a ``(domain, rrtype, rdata)`` key receives
+the same verdict, so the unit of work is the distinct key, not the
+record.  :class:`Stage2Executor` shards distinct keys across a thread
+pool (workers share the uniformity checker; the
+:class:`~repro.pipeline.resilience.SourceGuard` and the store caches
+are lock-protected) and returns results keyed by UR key — fan-out back
+to records happens in the caller's original record order, which makes
+reports **byte-identical across worker counts**.
+
+:class:`Stage2Metrics` mirrors the engine's
+:class:`~repro.engine.metrics.ScanMetrics` idiom for stage 2: dedup
+factor, verdict/auxiliary cache hit rates, throughput, and
+per-condition timings.  ``summary()`` deliberately prints only the
+deterministic counters — wall-clock figures would break the resume and
+worker-count byte-identity guarantees the pipeline tests enforce — the
+timing fields ride in the dataclass (and the benchmark JSON) instead.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+W = TypeVar("W")
+
+
+@dataclass
+class Stage2Metrics:
+    """What stage 2 did: volume, dedup, caching, parallelism, timing."""
+
+    #: candidate URs classified (including protective short-circuits)
+    records: int = 0
+    #: records answered by a protective-fingerprint match
+    protective_matches: int = 0
+    #: distinct (domain, rrtype, rdata) keys among the checked records
+    distinct_keys: int = 0
+    #: verdicts served from the memo instead of re-evaluated
+    cache_hits: int = 0
+    #: distinct evaluations actually performed
+    cache_misses: int = 0
+    #: worker threads the executor used
+    workers: int = 1
+    #: whether the memoized fast path was eligible (deterministic sources)
+    memoized: bool = False
+    #: wall-clock seconds of the whole classification pass
+    wall_s: float = 0.0
+    #: wall-clock seconds attributed per matched Appendix-B condition
+    #: (plus ``survived-exclusion`` for records no condition excluded)
+    condition_s: Dict[str, float] = field(default_factory=dict)
+    #: auxiliary-store cache accounting, when the stores expose it
+    pdns_cache_hits: int = 0
+    pdns_cache_misses: int = 0
+    ipinfo_cache_hits: int = 0
+    ipinfo_cache_misses: int = 0
+
+    @property
+    def dedup_factor(self) -> float:
+        """Records per distinct key (1.0 = no sharing across servers)."""
+        checked = self.records - self.protective_matches
+        if not self.distinct_keys:
+            return 1.0
+        return checked / self.distinct_keys
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def records_per_s(self) -> float:
+        return self.records / self.wall_s if self.wall_s > 0 else 0.0
+
+    def attribute(self, condition: str, seconds: float) -> None:
+        self.condition_s[condition] = (
+            self.condition_s.get(condition, 0.0) + seconds
+        )
+
+    def summary(self, indent: str = "") -> str:
+        """Deterministic counters only — safe for byte-compared reports.
+
+        Wall-clock figures, the worker count, and the store-cache
+        counters (whose exact values are scheduling-dependent under
+        concurrent workers) live in :meth:`timing_summary` instead, so
+        this text is byte-identical across worker counts and across
+        live/resumed runs.
+        """
+        mode = "on" if self.memoized else "off"
+        return "\n".join(
+            [
+                f"{indent}records: {self.records:,}  protective: "
+                f"{self.protective_matches:,}  distinct keys: "
+                f"{self.distinct_keys:,}  dedup: {self.dedup_factor:.2f}x",
+                f"{indent}verdict cache: hits={self.cache_hits:,} "
+                f"misses={self.cache_misses:,} "
+                f"(rate {self.cache_hit_rate:.2f})  "
+                f"memoization: {mode}",
+            ]
+        )
+
+    def timing_summary(self, indent: str = "") -> str:
+        """Wall-clock + scheduling-dependent view — diagnostics only."""
+        lines = [
+            f"{indent}workers: {self.workers}  wall: "
+            f"{self.wall_s * 1000:.1f}ms  throughput: "
+            f"{self.records_per_s:,.0f} records/s"
+        ]
+        aux_total = (
+            self.pdns_cache_hits
+            + self.pdns_cache_misses
+            + self.ipinfo_cache_hits
+            + self.ipinfo_cache_misses
+        )
+        if aux_total:
+            lines.append(
+                f"{indent}store caches: pdns {self.pdns_cache_hits:,}"
+                f"/{self.pdns_cache_hits + self.pdns_cache_misses:,}  "
+                f"ipinfo {self.ipinfo_cache_hits:,}"
+                f"/{self.ipinfo_cache_hits + self.ipinfo_cache_misses:,}"
+                " (hits/calls)"
+            )
+        for condition in sorted(self.condition_s):
+            lines.append(
+                f"{indent}  [{condition}] "
+                f"{self.condition_s[condition] * 1000:.2f}ms"
+            )
+        return "\n".join(lines)
+
+
+class Stage2Executor:
+    """Shards independent stage-2 evaluations across a worker pool.
+
+    Threads by default: the workload is dominated by shared in-memory
+    lookups, so threads avoid serializing the world across processes
+    while the guard/caches stay lock-protected.  Results come back as a
+    mapping keyed by the work item's key — callers re-assemble output in
+    their own deterministic order, so the merged result is independent
+    of worker count and scheduling.
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map_keys(
+        self,
+        items: Sequence[Tuple[K, W]],
+        fn: Callable[[W], V],
+    ) -> Dict[K, Tuple[V, float]]:
+        """Evaluate ``fn`` over ``items`` (unique-key work units).
+
+        Returns ``{key: (result, elapsed_seconds)}``.  With one worker
+        (or one item) everything runs inline; otherwise items are dealt
+        round-robin into per-worker shards.
+        """
+        results: Dict[K, Tuple[V, float]] = {}
+        if self.workers == 1 or len(items) <= 1:
+            for key, work in items:
+                results[key] = self._timed(fn, work)
+            return results
+        shards: List[List[Tuple[K, W]]] = [
+            list(items[index :: self.workers])
+            for index in range(self.workers)
+        ]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(self._run_shard, shard, fn)
+                for shard in shards
+                if shard
+            ]
+            for future in futures:
+                results.update(future.result())
+        return results
+
+    @staticmethod
+    def _timed(
+        fn: Callable[[W], V], work: W
+    ) -> Tuple[V, float]:
+        start = time.perf_counter()
+        value = fn(work)
+        return value, time.perf_counter() - start
+
+    @classmethod
+    def _run_shard(
+        cls,
+        shard: Sequence[Tuple[K, W]],
+        fn: Callable[[W], V],
+    ) -> Dict[K, Tuple[V, float]]:
+        return {key: cls._timed(fn, work) for key, work in shard}

@@ -19,6 +19,7 @@ from ..dns.name import Name
 from ..dns.rdata import RRType
 from ..engine.metrics import ScanMetrics
 from ..pipeline.resilience import SourceHealth
+from .parallel import Stage2Metrics
 from .records import ClassifiedUR, IpVerdict, URCategory
 from .txt import TxtCategory
 
@@ -155,6 +156,8 @@ class MeasurementReport:
     false_negative_rate: Optional[float] = None
     #: engine observability for the whole stage-1 scan (all collections)
     scan_metrics: Optional[ScanMetrics] = None
+    #: stage-2 exclusion observability (dedup, verdict-cache hit rates)
+    stage2_metrics: Optional[Stage2Metrics] = None
     #: set when any data source degraded during the run (None = clean)
     degraded: Optional[DegradedSources] = None
 
@@ -402,6 +405,9 @@ class MeasurementReport:
         if self.scan_metrics is not None:
             lines.append("scan engine metrics:")
             lines.append(self.scan_metrics.summary(indent="  "))
+        if self.stage2_metrics is not None:
+            lines.append("stage-2 exclusion metrics:")
+            lines.append(self.stage2_metrics.summary(indent="  "))
         if self.is_degraded:
             lines.append(self.degraded.summary())
         return "\n".join(lines)

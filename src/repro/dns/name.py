@@ -66,18 +66,12 @@ class Name:
     def from_text(cls, text: str) -> "Name":
         """Parse a dotted name; a trailing dot is accepted and ignored.
 
-        ``""`` and ``"."`` both denote the root.
+        ``""`` and ``"."`` both denote the root.  Results are interned:
+        the pipeline parses the same domain text over and over (every
+        record, checkpoint, and report round-trip), and Name is
+        immutable, so equal texts may safely share one instance.
         """
-        if text in ("", "."):
-            return ROOT
-        if text.endswith("."):
-            text = text[:-1]
-        if not text:
-            return ROOT
-        labels = text.split(".")
-        if any(not label for label in labels):
-            raise NameError_(f"empty label in name: {text!r}")
-        return cls(labels)
+        return _parse_interned(text)
 
     # -- core protocol --------------------------------------------------
 
@@ -218,6 +212,26 @@ def _validate_label(label: str) -> None:
 
 #: The DNS root name.
 ROOT = Name(())
+
+
+@functools.lru_cache(maxsize=65536)
+def _parse_interned(text: str) -> Name:
+    """The uncached parse behind :meth:`Name.from_text`.
+
+    Raised :class:`NameError_` is not cached — ``lru_cache`` only
+    stores successful results, so malformed inputs stay cheap to reject
+    repeatedly without poisoning the cache.
+    """
+    if text in ("", "."):
+        return ROOT
+    if text.endswith("."):
+        text = text[:-1]
+    if not text:
+        return ROOT
+    labels = text.split(".")
+    if any(not label for label in labels):
+        raise NameError_(f"empty label in name: {text!r}")
+    return Name(labels)
 
 
 def name(value: Union[str, Name]) -> Name:

@@ -5,12 +5,23 @@ stage 1 performs on every undelegated A record.  The database resolves a
 specific registration first, then falls back to per-prefix defaults —
 exactly how AS/geo data behaves (prefix-granular) versus cert/HTTP data
 (host-granular).
+
+Performance: stage 2 resolves metadata for every candidate A record, so
+``lookup`` must not linear-scan the registered prefixes.  The database
+keeps an interval index bucketed by prefix length (longest-prefix match
+becomes ≤ 33 dict probes, one per distinct registered length) plus an
+LRU cache of assembled :class:`IpMetadata`, so the four per-field
+helpers (``asn``/``country``/``cert_org``/``http``) share one cached
+lookup instead of four scans.  ``indexed=False`` / ``cache_size=0``
+keep the naive path alive for benchmarking and equivalence testing.
 """
 
 from __future__ import annotations
 
 import enum
 import ipaddress
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -109,9 +120,28 @@ class IpInfoDatabase:
 
     UNKNOWN_ASN = 0
 
-    def __init__(self) -> None:
+    #: repeat lookups always return the same answer — memoization-safe
+    #: (fault-injecting wrappers advertise ``False`` instead)
+    deterministic = True
+
+    def __init__(self, indexed: bool = True, cache_size: int = 4096) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self._prefixes: List[_PrefixInfo] = []
         self._hosts: Dict[str, IpMetadata] = {}
+        self._indexed = indexed
+        # lazy longest-prefix-match index: {prefixlen: {masked_int: info}},
+        # rebuilt on first lookup after a register_prefix
+        self._prefix_index: Optional[Dict[int, Dict[int, _PrefixInfo]]] = None
+        self._index_lengths: Tuple[int, ...] = ()
+        # LRU of assembled metadata for non-host addresses; locked because
+        # stage-2 workers share the database across threads
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[str, IpMetadata]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        #: metadata-cache accounting (stage-2 observability)
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- population --------------------------------------------------------
 
@@ -127,6 +157,10 @@ class IpInfoDatabase:
                 country=country,
             )
         )
+        # a new prefix can change any cached or indexed answer
+        self._prefix_index = None
+        with self._cache_lock:
+            self._cache.clear()
 
     def register_host(
         self,
@@ -148,12 +182,15 @@ class IpInfoDatabase:
             http=http if http is not None else HttpPage.none(),
         )
         self._hosts[address] = meta
+        # the host override supersedes any cached prefix-derived answer
+        with self._cache_lock:
+            self._cache.pop(address, None)
         return meta
 
     # -- lookup ---------------------------------------------------------
 
-    def _prefix_defaults(self, address: str) -> Tuple[int, str, str]:
-        ip_to_int(address)  # validates
+    def _prefix_scan(self, address: str) -> Tuple[int, str, str]:
+        """The reference O(prefixes) longest-prefix match."""
         packed = ipaddress.IPv4Address(address)
         best: Optional[_PrefixInfo] = None
         for info in self._prefixes:
@@ -166,15 +203,56 @@ class IpInfoDatabase:
             return (self.UNKNOWN_ASN, "UNKNOWN", "ZZ")
         return (best.asn, best.as_name, best.country)
 
+    def _build_index(self) -> None:
+        index: Dict[int, Dict[int, _PrefixInfo]] = {}
+        for info in self._prefixes:
+            bucket = index.setdefault(info.network.prefixlen, {})
+            # setdefault: the scan keeps the *first* registration of a
+            # duplicate network (strictly-greater replacement rule), so
+            # the index must too
+            bucket.setdefault(int(info.network.network_address), info)
+        self._prefix_index = index
+        # longest first: the first bucket hit is the longest match
+        self._index_lengths = tuple(sorted(index, reverse=True))
+
+    def _prefix_defaults(self, address: str) -> Tuple[int, str, str]:
+        as_int = ip_to_int(address)  # validates
+        if not self._indexed:
+            return self._prefix_scan(address)
+        if self._prefix_index is None:
+            self._build_index()
+        for prefixlen in self._index_lengths:
+            shift = 32 - prefixlen
+            info = self._prefix_index[prefixlen].get(
+                (as_int >> shift) << shift
+            )
+            if info is not None:
+                return (info.asn, info.as_name, info.country)
+        return (self.UNKNOWN_ASN, "UNKNOWN", "ZZ")
+
     def lookup(self, address: str) -> IpMetadata:
         """Full metadata for ``address`` (never raises for unknown hosts)."""
         hit = self._hosts.get(address)
         if hit is not None:
             return hit
+        if self._cache_size:
+            with self._cache_lock:
+                cached = self._cache.get(address)
+                if cached is not None:
+                    self.cache_hits += 1
+                    self._cache.move_to_end(address)
+                    return cached
+                self.cache_misses += 1
         asn, as_name, country = self._prefix_defaults(address)
-        return IpMetadata(
+        meta = IpMetadata(
             address=address, asn=asn, as_name=as_name, country=country
         )
+        if self._cache_size:
+            with self._cache_lock:
+                self._cache[address] = meta
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return meta
 
     def asn(self, address: str) -> int:
         return self.lookup(address).asn

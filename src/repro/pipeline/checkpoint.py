@@ -38,6 +38,7 @@ from ..core.analysis import MaliciousAnalysisResult
 from ..core.collector import CollectionResult, ProtectiveFingerprint
 from ..core.correctness import CorrectRecordDatabase
 from ..core.hunter import Stage1Result, Stage2Result, Stage3Result
+from ..core.parallel import Stage2Metrics
 from ..core.records import ClassifiedUR, IpVerdict, URCategory, UndelegatedRecord
 from ..core.suspicion import SuspicionOutcome
 from ..dns.name import Name, name
@@ -80,8 +81,16 @@ def config_fingerprint(
 
     ``extra`` lets callers fold in anything else that must match between
     the checkpointing run and the resuming run (e.g. a scenario seed).
+    Knobs the config names in ``FINGERPRINT_EXCLUDE`` (performance
+    settings that cannot change results, like the stage-2 worker count)
+    are dropped, so a checkpoint may be resumed under a different value.
     """
-    payload = {"config": _jsonify(config), "extra": _jsonify(extra or {})}
+    jsonified = _jsonify(config)
+    excluded = getattr(config, "FINGERPRINT_EXCLUDE", frozenset())
+    if isinstance(jsonified, dict):
+        for knob in excluded:
+            jsonified.pop(knob, None)
+    payload = {"config": jsonified, "extra": _jsonify(extra or {})}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -259,6 +268,36 @@ def decode_metrics(
     return metrics
 
 
+def encode_stage2_metrics(
+    metrics: Optional[Stage2Metrics],
+) -> Optional[Dict[str, Any]]:
+    if metrics is None:
+        return None
+    return {
+        "records": metrics.records,
+        "protective_matches": metrics.protective_matches,
+        "distinct_keys": metrics.distinct_keys,
+        "cache_hits": metrics.cache_hits,
+        "cache_misses": metrics.cache_misses,
+        "workers": metrics.workers,
+        "memoized": metrics.memoized,
+        "wall_s": metrics.wall_s,
+        "condition_s": dict(sorted(metrics.condition_s.items())),
+        "pdns_cache_hits": metrics.pdns_cache_hits,
+        "pdns_cache_misses": metrics.pdns_cache_misses,
+        "ipinfo_cache_hits": metrics.ipinfo_cache_hits,
+        "ipinfo_cache_misses": metrics.ipinfo_cache_misses,
+    }
+
+
+def decode_stage2_metrics(
+    payload: Optional[Dict[str, Any]],
+) -> Optional[Stage2Metrics]:
+    if payload is None:
+        return None
+    return Stage2Metrics(**payload)
+
+
 def encode_health(health: Dict[str, SourceHealth]) -> List[Dict[str, Any]]:
     return [
         dataclasses.asdict(ledger) for ledger in health.values()
@@ -338,6 +377,7 @@ def encode_stage2(stage2: Stage2Result, validated: bool) -> Dict[str, Any]:
         "skipped_conditions": dict(
             sorted(stage2.skipped_conditions.items())
         ),
+        "metrics": encode_stage2_metrics(stage2.metrics),
         # resume honesty: a checkpoint written by a validate=False run
         # must not satisfy a validate=True resume
         "validated": validated,
@@ -354,6 +394,7 @@ def decode_stage2(payload: Dict[str, Any]) -> Stage2Result:
         fn_rate=payload["fn_rate"],
         source_health=decode_health(payload["source_health"]),
         skipped_conditions=dict(payload["skipped_conditions"]),
+        metrics=decode_stage2_metrics(payload.get("metrics")),
     )
 
 

@@ -63,6 +63,20 @@ class FaultPlan:
         self.calls = 0
         self.faults = 0
 
+    @property
+    def never_faults(self) -> bool:
+        """True when this plan can provably never inject a fault.
+
+        Only such a plan leaves its wrapped source *deterministic*
+        (call-count independent), which is what stage 2's verdict memo
+        requires before it may skip repeat source calls.
+        """
+        return (
+            not self.dead
+            and self.fail_first == 0
+            and self.error_rate == 0.0
+        )
+
     def check(self, source: str) -> None:
         """Raise the scheduled fault for this call, if any."""
         self.calls += 1
@@ -145,6 +159,13 @@ class FlakyPassiveDNS:
         self.plan = plan
 
     @property
+    def deterministic(self) -> bool:
+        """Memoization-safe only when the plan can never fault."""
+        return self.plan.never_faults and getattr(
+            self.inner, "deterministic", False
+        )
+
+    @property
     def horizon(self) -> float:
         return self.inner.horizon
 
@@ -193,6 +214,13 @@ class FlakyIPInfo:
     def __init__(self, ipinfo, plan: FaultPlan):
         self.inner = ipinfo
         self.plan = plan
+
+    @property
+    def deterministic(self) -> bool:
+        """Memoization-safe only when the plan can never fault."""
+        return self.plan.never_faults and getattr(
+            self.inner, "deterministic", False
+        )
 
     def lookup(self, address: str):
         self.plan.check(self.SOURCE)

@@ -20,6 +20,7 @@ whatever evidence survives.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Tuple
 
@@ -135,6 +136,14 @@ class SourceGuard:
         self.limiter = RateLimiter(interval=ratelimit_cooldown)
         self._clock = 0.0
         self._health: Dict[str, SourceHealth] = {}
+        #: monotone counter of degradation events (failures, skips,
+        #: rate-limits).  Stage 2's verdict memo folds this into its
+        #: cache key: any change in source availability invalidates
+        #: every verdict cached under the previous state.
+        self.degraded_events = 0
+        # stage-2 workers share one guard across threads; the lock keeps
+        # the ledgers, breaker clock, and limiter state consistent
+        self._lock = threading.Lock()
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -188,36 +197,41 @@ class SourceGuard:
         propagate — the guard shields against flaky dependencies, not
         against bugs.
         """
-        self._clock += 1.0
-        ledger = self.health(source)
-        ledger.calls += 1
-        if not self.breaker.allow(source, self._clock):
-            ledger.skipped += 1
-            return False, None
-        if self.limiter.ready_at(source, self._clock) > self._clock:
-            ledger.skipped += 1
-            return False, None
-        attempt = 0
-        while True:
-            try:
-                value = fn(*args, **kwargs)
-            except SourceError as error:
-                if isinstance(error, SourceRateLimited):
-                    ledger.rate_limited += 1
-                    self.limiter.take(source, self._clock)
-                attempt += 1
-                if attempt <= self.retries:
-                    ledger.retries += 1
-                    ledger.backoff_wait += self.backoff_base * (
-                        self.backoff_factor ** (attempt - 1)
-                    )
-                    continue
-                ledger.failures += 1
-                self.breaker.record_failure(source, self._clock)
+        with self._lock:
+            self._clock += 1.0
+            ledger = self.health(source)
+            ledger.calls += 1
+            if not self.breaker.allow(source, self._clock):
+                ledger.skipped += 1
+                self.degraded_events += 1
                 return False, None
-            self.breaker.record_success(source)
-            ledger.successes += 1
-            return True, value
+            if self.limiter.ready_at(source, self._clock) > self._clock:
+                ledger.skipped += 1
+                self.degraded_events += 1
+                return False, None
+            attempt = 0
+            while True:
+                try:
+                    value = fn(*args, **kwargs)
+                except SourceError as error:
+                    if isinstance(error, SourceRateLimited):
+                        ledger.rate_limited += 1
+                        self.degraded_events += 1
+                        self.limiter.take(source, self._clock)
+                    attempt += 1
+                    if attempt <= self.retries:
+                        ledger.retries += 1
+                        ledger.backoff_wait += self.backoff_base * (
+                            self.backoff_factor ** (attempt - 1)
+                        )
+                        continue
+                    ledger.failures += 1
+                    self.degraded_events += 1
+                    self.breaker.record_failure(source, self._clock)
+                    return False, None
+                self.breaker.record_success(source)
+                ledger.successes += 1
+                return True, value
 
 
 def merge_health(
