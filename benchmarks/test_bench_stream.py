@@ -1,0 +1,115 @@
+"""Benchmark: batch pipeline vs streaming dataflow.
+
+Runs the full three-stage measurement twice per scenario size — once in
+batch mode, once as the record-level streaming dataflow — and records
+wall clock, allocation peak (tracemalloc), and channel occupancy into
+``BENCH_stream.json`` at the repo root so CI can track both claims
+across commits:
+
+* the streaming report is byte-identical to the batch report
+  (asserted here, exhaustively in ``tests/flow``);
+* streaming keeps intermediate buffering bounded by the channel depth
+  without costing wall clock.
+"""
+
+import json
+import subprocess
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.core import HunterConfig, URHunter
+from repro.scenario import ScenarioConfig, build_world, small_config
+
+from .conftest import banner
+
+#: scenario scale per step: (label, config factory)
+SIZES = [
+    ("small", lambda: small_config(seed=7)),
+    ("default", lambda: ScenarioConfig(seed=7)),
+]
+CHANNEL_DEPTH = 64
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+
+def _measure(scenario_factory, execution: str):
+    """One full measurement; returns (report, wall_s, peak_kb, hunter)."""
+    world = build_world(scenario_factory())
+    hunter = URHunter.from_world(
+        world,
+        HunterConfig(execution=execution, channel_depth=CHANNEL_DEPTH),
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    report = hunter.run()
+    wall = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return report, wall, peak / 1024.0, hunter
+
+
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def test_stream_perf_trajectory():
+    labels, batch_s, stream_s, batch_kb, stream_kb, peaks = (
+        [],
+        [],
+        [],
+        [],
+        [],
+        [],
+    )
+    banner("pipeline execution: batch barrier vs streaming dataflow")
+    for label, factory in SIZES:
+        batch_report, batch_wall, batch_peak, _ = _measure(factory, "batch")
+        stream_report, stream_wall, stream_peak, hunter = _measure(
+            factory, "stream"
+        )
+        # the dataflow must be an invisible re-expression
+        assert stream_report.summary() == batch_report.summary()
+        stats = hunter.last_flow_stats
+        assert stats is not None
+        assert stats.max_occupancy <= CHANNEL_DEPTH
+        labels.append(label)
+        batch_s.append(round(batch_wall, 4))
+        stream_s.append(round(stream_wall, 4))
+        batch_kb.append(round(batch_peak, 1))
+        stream_kb.append(round(stream_peak, 1))
+        peaks.append(stats.max_occupancy)
+        print(
+            f"  {label:>8}  batch {batch_wall * 1000:8.1f}ms "
+            f"{batch_peak:9.1f}KiB  stream {stream_wall * 1000:8.1f}ms "
+            f"{stream_peak:9.1f}KiB  peak occupancy "
+            f"{stats.max_occupancy}/{CHANNEL_DEPTH}"
+        )
+    payload = {
+        "timestamp": time.time(),
+        "git_rev": _git_rev(),
+        "sizes": labels,
+        "channel_depth": CHANNEL_DEPTH,
+        "batch_s": batch_s,
+        "stream_s": stream_s,
+        "batch_peak_kb": batch_kb,
+        "stream_peak_kb": stream_kb,
+        "max_occupancy": peaks,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    ratio = stream_s[-1] / batch_s[-1] if batch_s[-1] > 0 else 1.0
+    print(f"\nwrote {OUTPUT.name}: stream/batch wall ratio {ratio:.2f}")
+    # streaming must not cost wall clock (generous noise margin: both
+    # runs executed the identical query/classification work)
+    assert ratio <= 1.15

@@ -158,6 +158,40 @@ def build_parser() -> argparse.ArgumentParser:
             "(deterministic per --seed; default 0, no loss)"
         ),
     )
+    execution = parser.add_argument_group(
+        "execution", "batch vs streaming dataflow"
+    )
+    execution.add_argument(
+        "--execution",
+        choices=("batch", "stream"),
+        default="batch",
+        help=(
+            "run the three stages as a whole-corpus batch or as one "
+            "record-level streaming dataflow (default: batch; the "
+            "report is byte-identical either way)"
+        ),
+    )
+    execution.add_argument(
+        "--channel-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "bounded-channel capacity between streaming stages "
+            "(default 64; smaller = tighter memory, more scheduling)"
+        ),
+    )
+    execution.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --execution stream and --checkpoint-dir: persist an "
+            "incremental segment every N classified records "
+            "(default 0, stage checkpoints only)"
+        ),
+    )
     stage2 = parser.add_argument_group(
         "stage 2", "exclusion-stage parallelism and caching"
     )
@@ -253,6 +287,8 @@ def _hunter_config(args: argparse.Namespace) -> HunterConfig:
         timeout=args.timeout,
         stage2_workers=args.stage2_workers,
         stage2_memoize=not args.no_stage2_memoize,
+        execution=args.execution,
+        channel_depth=args.channel_depth,
     )
     if args.mx:
         config.query_types = (RRType.A, RRType.TXT, RRType.MX)
@@ -311,6 +347,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             "error: --resume requires --checkpoint-dir", file=sys.stderr
         )
         return EXIT_USAGE
+    if args.checkpoint_every < 0:
+        print(
+            f"error: --checkpoint-every must be >= 0, "
+            f"got {args.checkpoint_every}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     try:
         hunter_config = _hunter_config(args)
     except ValueError as error:
@@ -359,6 +402,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         store=store,
         resume=args.resume,
         scenario_fingerprint=_scenario_fingerprint(args),
+        checkpoint_every=args.checkpoint_every,
     )
     needs_validation = args.command in ("run", "validate")
     try:

@@ -170,6 +170,68 @@ class MaliciousBehaviorAnalyzer:
 
     # -- the stage itself ------------------------------------------------------
 
+    def refine_entry(
+        self,
+        entry: ClassifiedUR,
+        a_index: Dict[Tuple[Name, str], List[str]],
+        ip_verdicts: Dict[str, IpVerdict],
+    ) -> Tuple[ClassifiedUR, bool]:
+        """Refine one suspicious entry into malicious / unknown.
+
+        ``ip_verdicts`` is the shared first-seen ledger: new addresses
+        are looked up (in the entry's IP order) and appended, known ones
+        are reused — the per-entry unit both the batch loop and the
+        streaming analysis node drive, so intel lookups happen in the
+        identical order either way.  Returns the refined entry and
+        whether it counted toward ``txt_without_ip``.
+        """
+        ips = self.corresponding_ips(entry.record, a_index)
+        if not ips:
+            return (
+                ClassifiedUR(
+                    record=entry.record,
+                    category=URCategory.UNKNOWN,
+                    reasons=entry.reasons + ("no-corresponding-ip",),
+                    corresponding_ips=(),
+                    txt_category=entry.txt_category,
+                ),
+                entry.record.rrtype == RRType.TXT,
+            )
+        for address in ips:
+            if address not in ip_verdicts:
+                ip_verdicts[address] = self.verdict_for_ip(address)
+        malicious = any(
+            ip_verdicts[address].is_malicious for address in ips
+        )
+        reasons = list(entry.reasons)
+        if malicious:
+            sources = {
+                ip_verdicts[address].label_source
+                for address in ips
+                if ip_verdicts[address].is_malicious
+            }
+            reasons.append("ip-" + "+".join(sorted(sources)))
+        elif any(
+            ip_verdicts[address].intel_partial for address in ips
+        ):
+            # a non-malicious verdict reached over a partial vendor
+            # quorum is unverifiable, not clean
+            reasons.append("unverifiable:intel")
+        return (
+            ClassifiedUR(
+                record=entry.record,
+                category=(
+                    URCategory.MALICIOUS
+                    if malicious
+                    else URCategory.UNKNOWN
+                ),
+                reasons=tuple(reasons),
+                corresponding_ips=tuple(ips),
+                txt_category=entry.txt_category,
+            ),
+            False,
+        )
+
     def analyze(
         self, suspicious: Sequence[ClassifiedUR]
     ) -> MaliciousAnalysisResult:
@@ -183,53 +245,10 @@ class MaliciousBehaviorAnalyzer:
         refined: List[ClassifiedUR] = []
         txt_without_ip = 0
         for entry in suspicious:
-            ips = self.corresponding_ips(entry.record, a_index)
-            if not ips:
-                if entry.record.rrtype == RRType.TXT:
-                    txt_without_ip += 1
-                refined.append(
-                    ClassifiedUR(
-                        record=entry.record,
-                        category=URCategory.UNKNOWN,
-                        reasons=entry.reasons + ("no-corresponding-ip",),
-                        corresponding_ips=(),
-                        txt_category=entry.txt_category,
-                    )
-                )
-                continue
-            for address in ips:
-                if address not in ip_verdicts:
-                    ip_verdicts[address] = self.verdict_for_ip(address)
-            malicious = any(
-                ip_verdicts[address].is_malicious for address in ips
-            )
-            reasons = list(entry.reasons)
-            if malicious:
-                sources = {
-                    ip_verdicts[address].label_source
-                    for address in ips
-                    if ip_verdicts[address].is_malicious
-                }
-                reasons.append("ip-" + "+".join(sorted(sources)))
-            elif any(
-                ip_verdicts[address].intel_partial for address in ips
-            ):
-                # a non-malicious verdict reached over a partial vendor
-                # quorum is unverifiable, not clean
-                reasons.append("unverifiable:intel")
-            refined.append(
-                ClassifiedUR(
-                    record=entry.record,
-                    category=(
-                        URCategory.MALICIOUS
-                        if malicious
-                        else URCategory.UNKNOWN
-                    ),
-                    reasons=tuple(reasons),
-                    corresponding_ips=tuple(ips),
-                    txt_category=entry.txt_category,
-                )
-            )
+            result, counted = self.refine_entry(entry, a_index, ip_verdicts)
+            refined.append(result)
+            if counted:
+                txt_without_ip += 1
         return MaliciousAnalysisResult(
             classified=refined,
             ip_verdicts=ip_verdicts,

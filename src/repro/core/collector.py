@@ -25,7 +25,6 @@ randomized order and rate-limited per server against the virtual clock.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -119,10 +118,6 @@ class CollectionResult:
     counters populated) and :meth:`ResponseCollector.collect_all`
     (protective fingerprints, the correct-record database, and the scan
     metrics folded in as well).
-
-    Iterating unpacks the legacy ``(undelegated, responses_seen,
-    queries_sent, timeouts)`` 4-tuple that ``collect_urs`` used to
-    return; the shim warns and will be removed next release.
     """
 
     undelegated: List[UndelegatedRecord] = field(default_factory=list)
@@ -137,27 +132,36 @@ class CollectionResult:
     correct_successes: int = 0
     #: engine observability for the whole collection run
     metrics: Optional[ScanMetrics] = None
+    #: virtual time pinned after the protective + correct collections,
+    #: before the UR scan — stage 2's classification clock in both the
+    #: batch and streaming execution modes (streaming classifies records
+    #: while the scan is still running, so the clock cannot depend on
+    #: when the scan *ends*)
+    classification_epoch: float = 0.0
 
-    def legacy_tuple(
-        self,
-    ) -> Tuple[List[UndelegatedRecord], int, int, int]:
-        """The pre-engine return shape of ``collect_urs``."""
-        return (
-            self.undelegated,
-            self.responses_seen,
-            self.queries_sent,
-            self.timeouts,
-        )
 
-    def __iter__(self) -> Iterator[object]:
-        warnings.warn(
-            "unpacking CollectionResult as a 4-tuple is deprecated; "
-            "use the named fields (undelegated, responses_seen, "
-            "queries_sent, timeouts) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return iter(self.legacy_tuple())
+@dataclass
+class CollectionPreamble:
+    """Stage 1's eager prefix: everything the UR scan does not produce.
+
+    Protective fingerprints and correct-record profiles are whole-corpus
+    inputs to classification, so they are collected up front in both
+    execution modes; the UR scan (batched or streamed) then completes
+    the :class:`CollectionResult` via :meth:`fold_into`.
+    """
+
+    protective: Dict[str, ProtectiveFingerprint]
+    correct_db: CorrectRecordDatabase
+    correct_successes: int
+    #: virtual time when the preamble finished — the classification clock
+    classification_epoch: float
+
+    def fold_into(self, result: CollectionResult) -> CollectionResult:
+        result.protective = self.protective
+        result.correct_db = self.correct_db
+        result.correct_successes = self.correct_successes
+        result.classification_epoch = self.classification_epoch
+        return result
 
 
 #: the record types the paper measures; MX is the §6 future-work
@@ -166,34 +170,8 @@ class CollectionResult:
 DEFAULT_QUERY_TYPES = (RRType.A, RRType.TXT)
 
 
-class _QueryTypesAlias:
-    """Deprecated ``QUERY_TYPES`` alias that tracks instance overrides.
-
-    Historically a plain class attribute, it silently disagreed with a
-    ``query_types`` constructor override; now class access yields the
-    defaults and instance access yields the live configuration.
-    """
-
-    def __get__(
-        self,
-        instance: Optional["ResponseCollector"],
-        owner: Optional[type] = None,
-    ) -> Tuple[int, ...]:
-        if instance is None:
-            return DEFAULT_QUERY_TYPES
-        warnings.warn(
-            "ResponseCollector.QUERY_TYPES is deprecated; read "
-            "collector.query_types instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return instance.query_types
-
-
 class ResponseCollector:
     """Builds the stage-1 query matrix and interprets the responses."""
-
-    QUERY_TYPES = _QueryTypesAlias()
 
     def __init__(
         self,
@@ -241,6 +219,36 @@ class ResponseCollector:
         UR scan); the engine keeps one metrics object across the three
         so the report sees the full scan accounting.
         """
+        preamble = self.collect_preamble(
+            nameservers,
+            domains,
+            open_resolver_ips,
+            correct_db,
+            probe_domain=probe_domain,
+        )
+        result = self._guarded(
+            "ur", self.collect_urs, nameservers, domains, delegated_to
+        )
+        preamble.fold_into(result)
+        result.metrics = self.engine.metrics
+        return result
+
+    def collect_preamble(
+        self,
+        nameservers: Sequence[NameserverTarget],
+        domains: Sequence[DomainTarget],
+        open_resolver_ips: Sequence[str],
+        correct_db: CorrectRecordDatabase,
+        probe_domain: Union[str, Name] = "urhunter-probe-owned.net",
+    ) -> "CollectionPreamble":
+        """The batch prefix of stage 1: protective + correct collections.
+
+        Both execution modes run this eagerly — protective fingerprints
+        and correct-record profiles must be complete before the first UR
+        can be classified.  Resets the engine metrics, so the UR scan
+        that follows (eager or streamed) accumulates into the same
+        ledger.
+        """
         self.engine.metrics = ScanMetrics()
         protective = self._guarded(
             "protective",
@@ -255,14 +263,12 @@ class ResponseCollector:
             open_resolver_ips,
             correct_db,
         )
-        result = self._guarded(
-            "ur", self.collect_urs, nameservers, domains, delegated_to
+        return CollectionPreamble(
+            protective=protective,
+            correct_db=correct_db,
+            correct_successes=successes,
+            classification_epoch=self.network.now,
         )
-        result.protective = protective
-        result.correct_db = correct_db
-        result.correct_successes = successes
-        result.metrics = self.engine.metrics
-        return result
 
     def _guarded(self, collection: str, fn, *args):
         """Run one collection; on failure, attach the partial metrics.
@@ -295,8 +301,28 @@ class ResponseCollector:
         domains exactly delegated to the nameserver").
 
         Returns a :class:`CollectionResult` with the unique URs and the
-        wire counters (the legacy 4-tuple unpacking still works, with a
-        deprecation warning).
+        wire counters.
+        """
+        tasks = self.build_ur_tasks(nameservers, domains, delegated_to)
+        outcomes = self.engine.execute(tasks)
+        collected: List[UndelegatedRecord] = []
+        for outcome in outcomes:
+            collected.extend(self.urs_from_outcome(outcome))
+        result = CollectionResult(undelegated=dedupe_urs(collected))
+        _fold_counters(result, outcomes)
+        return result
+
+    def build_ur_tasks(
+        self,
+        nameservers: Sequence[NameserverTarget],
+        domains: Sequence[DomainTarget],
+        delegated_to: Dict[Name, Set[str]],
+    ) -> List[QueryTask]:
+        """The UR scan matrix, in the randomized (ethics) query order.
+
+        Task-list order is the deterministic record order both execution
+        modes share: the batch path drains outcomes in this order, the
+        streaming path re-establishes it with a reorder buffer.
         """
         tasks: List[QueryTask] = []
         for nameserver in nameservers:
@@ -316,24 +342,41 @@ class ResponseCollector:
                         )
                     )
         self.rng.shuffle(tasks)  # ethics: randomized query order
-        outcomes = self.engine.execute(tasks)
-        collected: List[UndelegatedRecord] = []
-        for outcome in outcomes:
-            response = outcome.response
-            if response is None:
-                continue
-            if response.header.rcode != Rcode.NOERROR:
-                continue
-            nameserver = outcome.task.tag
-            assert isinstance(nameserver, NameserverTarget)
-            collected.extend(
-                self._extract_urs(
-                    nameserver, outcome.task.qname, response
-                )
-            )
-        result = CollectionResult(undelegated=dedupe_urs(collected))
-        _fold_counters(result, outcomes)
-        return result
+        return tasks
+
+    def urs_from_outcome(
+        self, outcome: QueryOutcome
+    ) -> List[UndelegatedRecord]:
+        """Candidate URs of one outcome (empty unless NOERROR answered)."""
+        response = outcome.response
+        if response is None:
+            return []
+        if response.header.rcode != Rcode.NOERROR:
+            return []
+        nameserver = outcome.task.tag
+        assert isinstance(nameserver, NameserverTarget)
+        return self._extract_urs(nameserver, outcome.task.qname, response)
+
+    def iter_ur_outcomes(
+        self, tasks: Sequence[QueryTask]
+    ) -> Iterator[Tuple[int, QueryOutcome]]:
+        """Stream the UR scan: ``(task_index, outcome)`` in completion
+        order, wrapping engine errors in :class:`CollectionFailure` so
+        the streaming path reports partial metrics exactly as the batch
+        path does."""
+        iterator = self.engine.execute_iter(tasks)
+        while True:
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+            except CollectionFailure:
+                raise
+            except Exception as error:
+                raise CollectionFailure(
+                    "ur", error, self.engine.metrics
+                ) from error
+            yield item
 
     def _extract_urs(
         self,

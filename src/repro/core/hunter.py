@@ -56,7 +56,7 @@ from .correctness import (
 )
 from .parallel import Stage2Metrics
 from .records import ClassifiedUR, UndelegatedRecord
-from .report import DegradedSources, MeasurementReport
+from .report import DegradedSources, MeasurementReport, ReportAccumulator
 from .suspicion import SuspicionFilter, SuspicionOutcome
 
 
@@ -169,12 +169,20 @@ class HunterConfig:
     #: memoize uniformity verdicts per distinct (domain, rrtype, rdata)
     #: key when the sources are deterministic
     stage2_memoize: bool = True
+    #: dataflow mode: "batch" runs each stage to completion before the
+    #: next starts; "stream" flows records through bounded channels so
+    #: classification overlaps the scan (byte-identical output)
+    execution: str = "batch"
+    #: bounded-channel capacity (and stage-2 chunk size) of the
+    #: streaming dataflow
+    channel_depth: int = 64
 
     #: knobs that do not change *what* the pipeline computes, only how
     #: fast — excluded from the checkpoint fingerprint so a run may be
-    #: resumed under a different worker count or memoization setting
+    #: resumed under a different worker count, memoization setting, or
+    #: execution mode (batch and streaming reports are byte-identical)
     FINGERPRINT_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset(
-        {"stage2_workers", "stage2_memoize"}
+        {"stage2_workers", "stage2_memoize", "execution", "channel_depth"}
     )
 
     def __post_init__(self) -> None:
@@ -208,6 +216,15 @@ class HunterConfig:
         if self.stage2_workers < 1:
             raise ValueError(
                 f"stage2_workers must be >= 1, got {self.stage2_workers}"
+            )
+        if self.execution not in ("batch", "stream"):
+            raise ValueError(
+                f"unknown execution mode {self.execution!r} "
+                "(known: batch, stream)"
+            )
+        if self.channel_depth < 1:
+            raise ValueError(
+                f"channel_depth must be >= 1, got {self.channel_depth}"
             )
 
     def engine_policy(self) -> EnginePolicy:
@@ -269,6 +286,8 @@ class URHunter:
         #: injection hook); stage 1 keeps using ``self.ipinfo`` so the
         #: correct-record profiles stay intact
         self.stage2_ipinfo: Optional[IpInfoDatabase] = None
+        #: channel-occupancy statistics of the last streaming run
+        self.last_flow_stats = None
 
     @classmethod
     def from_world(
@@ -291,13 +310,12 @@ class URHunter:
 
     # -- pipeline --------------------------------------------------------
 
-    def stage1_collect(self) -> Stage1Result:
-        """Stage 1: all three collections through the scan engine.
+    def _expanded_domains(self, notes: List[str]) -> List[DomainTarget]:
+        """The target domains, optionally expanded from passive DNS.
 
-        Passive-DNS target expansion is best-effort: a dead pdns source
-        degrades the run to the configured targets instead of aborting.
+        Expansion is best-effort: a dead pdns source degrades the run to
+        the configured targets (noted) instead of aborting.
         """
-        notes: List[str] = []
         domains = list(self.domains)
         if self.config.expand_pdns_subdomains and self.pdns is not None:
             try:
@@ -308,6 +326,19 @@ class URHunter:
                 )
             except SourceError as error:
                 notes.append(f"pdns-expansion-skipped:{error.source}")
+        return domains
+
+    def stage1_collect(self) -> Stage1Result:
+        """Stage 1: all three collections through the scan engine.
+
+        ``now`` is the collection's *classification epoch* — the virtual
+        time pinned after the protective + correct collections, before
+        the UR scan.  Both execution modes classify against this clock
+        (streaming classifies records while the scan is still running),
+        so it is the value checkpoints carry.
+        """
+        notes: List[str] = []
+        domains = self._expanded_domains(notes)
         correct_db = CorrectRecordDatabase(self.ipinfo)
         collection = self.collector.collect_all(
             self.nameservers,
@@ -320,7 +351,7 @@ class URHunter:
         self.correct_db = correct_db
         return Stage1Result(
             collection=collection,
-            now=self.network.now,
+            now=collection.classification_epoch,
             notes=tuple(notes),
         )
 
@@ -333,27 +364,7 @@ class URHunter:
         ``stage1.now`` as the clock — the checkpointed collection
         timestamp — so a resumed run reproduces the live run exactly.
         """
-        if self.correct_db is None:
-            # resumed run: the correct-record profiles arrived with the
-            # checkpoint inside stage1.collection's database reference
-            raise RuntimeError(
-                "stage2_exclude requires correct_db; run stage1_collect "
-                "or restore it from a checkpoint first"
-            )
-        checker = UniformityChecker(
-            self.correct_db,
-            pdns=self.pdns,
-            enabled_conditions=self.config.enabled_conditions,
-            ipinfo=self.stage2_ipinfo,
-        )
-        self.last_checker = checker
-        suspicion = SuspicionFilter(
-            checker,
-            stage1.collection.protective,
-            workers=self.config.stage2_workers,
-            memoize=self.config.stage2_memoize,
-        )
-        self.last_filter = suspicion
+        suspicion = self._stage2_filter(stage1.collection.protective)
         outcome = suspicion.classify(
             stage1.collection.undelegated, now=stage1.now
         )
@@ -367,13 +378,38 @@ class URHunter:
         return Stage2Result(
             outcome=outcome,
             fn_rate=fn_rate,
-            source_health=checker.source_health(),
-            skipped_conditions=dict(checker.skipped_conditions),
+            source_health=suspicion.checker.source_health(),
+            skipped_conditions=dict(suspicion.checker.skipped_conditions),
             metrics=metrics,
         )
 
-    def stage3_analyze(self, stage2: Stage2Result) -> Stage3Result:
-        """Stage 3: malicious behaviour analysis on the suspicious set."""
+    def _stage2_filter(self, protective) -> SuspicionFilter:
+        """Build the stage-2 checker + filter (shared by both modes)."""
+        if self.correct_db is None:
+            # resumed run: the correct-record profiles arrived with the
+            # checkpoint inside stage1.collection's database reference
+            raise RuntimeError(
+                "stage 2 requires correct_db; run stage1_collect "
+                "or restore it from a checkpoint first"
+            )
+        checker = UniformityChecker(
+            self.correct_db,
+            pdns=self.pdns,
+            enabled_conditions=self.config.enabled_conditions,
+            ipinfo=self.stage2_ipinfo,
+        )
+        self.last_checker = checker
+        suspicion = SuspicionFilter(
+            checker,
+            protective,
+            workers=self.config.stage2_workers,
+            memoize=self.config.stage2_memoize,
+        )
+        self.last_filter = suspicion
+        return suspicion
+
+    def _stage3_analyzer(self) -> MaliciousBehaviorAnalyzer:
+        """Build the stage-3 analyzer (shared by both modes)."""
         analyzer = MaliciousBehaviorAnalyzer(
             self.intel,
             self.sandbox_reports,
@@ -383,6 +419,11 @@ class URHunter:
             use_cohost_join=self.config.use_cohost_join,
         )
         self.last_analyzer = analyzer
+        return analyzer
+
+    def stage3_analyze(self, stage2: Stage2Result) -> Stage3Result:
+        """Stage 3: malicious behaviour analysis on the suspicious set."""
+        analyzer = self._stage3_analyzer()
         analysis = analyzer.analyze(stage2.outcome.suspicious)
         return Stage3Result(
             analysis=analysis,
@@ -395,21 +436,22 @@ class URHunter:
         stage2: Stage2Result,
         stage3: Stage3Result,
     ) -> MeasurementReport:
-        """Assemble the final report, including degradation provenance."""
-        classified: List[ClassifiedUR] = [
-            entry
-            for entry in stage2.outcome.classified
-            if not entry.is_suspicious
-        ]
-        classified.extend(stage3.analysis.classified)
-        unverifiable = sum(
-            1
-            for entry in classified
-            if any(
-                reason.startswith("unverifiable")
-                for reason in entry.reasons
-            )
-        )
+        """Assemble the final report, including degradation provenance.
+
+        The :class:`~repro.core.report.ReportAccumulator` defines the
+        canonical entry order (clean stage-2 entries, then the refined
+        stage-3 entries, each in record order); the streaming sink folds
+        the same accumulator incrementally, which is what makes the two
+        execution modes byte-identical.
+        """
+        accumulator = ReportAccumulator()
+        for entry in stage2.outcome.classified:
+            if not entry.is_suspicious:
+                accumulator.add(entry)
+        for entry in stage3.analysis.classified:
+            accumulator.add(entry)
+        classified: List[ClassifiedUR] = accumulator.classified()
+        unverifiable = accumulator.unverifiable
         degraded = DegradedSources(
             sources=merge_health(
                 stage2.source_health, stage3.source_health
@@ -436,15 +478,109 @@ class URHunter:
     def run(self, validate: bool = True) -> MeasurementReport:
         """Execute all three stages and build the report.
 
-        With ``validate`` the §4.2 zero-false-negative check also runs
-        (delegated records of the target domains through the exclusion
-        stage).  For checkpointed, resumable execution wrap the hunter in
-        :class:`repro.pipeline.PipelineRunner` instead.
+        ``config.execution`` selects the dataflow: ``"batch"`` runs each
+        stage to completion before the next, ``"stream"`` flows records
+        through bounded channels (:meth:`run_flow`) — the reports are
+        byte-identical.  With ``validate`` the §4.2 zero-false-negative
+        check also runs (delegated records of the target domains through
+        the exclusion stage).  For checkpointed, resumable execution
+        wrap the hunter in :class:`repro.pipeline.PipelineRunner`
+        instead.
         """
-        stage1 = self.stage1_collect()
-        stage2 = self.stage2_exclude(stage1, validate=validate)
-        stage3 = self.stage3_analyze(stage2)
+        if self.config.execution == "stream":
+            stage1, stage2, stage3 = self.run_flow(validate=validate)
+        else:
+            stage1 = self.stage1_collect()
+            stage2 = self.stage2_exclude(stage1, validate=validate)
+            stage3 = self.stage3_analyze(stage2)
         return self.build_report(stage1, stage2, stage3)
+
+    # -- streaming dataflow -------------------------------------------------
+
+    def run_flow(
+        self,
+        validate: bool = True,
+        segment_size: int = 0,
+        segment_sink=None,
+        resume_entries: Sequence[ClassifiedUR] = (),
+        segment_start: int = 0,
+    ) -> Tuple[Stage1Result, Stage2Result, Stage3Result]:
+        """Run all three stages as one record-level streaming dataflow.
+
+        The collector, exclusion, and analysis stages become nodes of a
+        :class:`repro.flow.FlowGraph` connected by bounded channels of
+        ``config.channel_depth``; a record is classified while the scan
+        is still running, and only the final report (plus the stage-2
+        ledger the checkpoints need) is materialised.  Output is
+        byte-identical to the batch stages for any channel depth, worker
+        count, and fault schedule.
+
+        ``segment_size``/``segment_sink`` enable incremental segment
+        checkpoints: every ``segment_size`` classified records the sink
+        receives ``(segment_index, entries)``.  ``resume_entries``
+        replays previously checkpointed classifications (the scan is
+        re-driven — it is deterministic — but stage 2 skips the replayed
+        prefix); ``segment_start`` numbers the first *new* segment.
+        """
+        # Lazy import: repro.flow imports core submodules, so the module
+        # level would be a cycle.
+        from ..flow import run_pipeline_flow
+
+        notes: List[str] = []
+        domains = self._expanded_domains(notes)
+        correct_db = CorrectRecordDatabase(self.ipinfo)
+        preamble = self.collector.collect_preamble(
+            self.nameservers,
+            domains,
+            self.open_resolver_ips,
+            correct_db,
+            probe_domain=self.config.probe_domain,
+        )
+        self.correct_db = correct_db
+        suspicion = self._stage2_filter(preamble.protective)
+        analyzer = self._stage3_analyzer()
+        tasks = self.collector.build_ur_tasks(
+            self.nameservers, domains, self.delegated_to
+        )
+        flow = run_pipeline_flow(
+            collector=self.collector,
+            tasks=tasks,
+            preamble=preamble,
+            suspicion=suspicion,
+            analyzer=analyzer,
+            now=preamble.classification_epoch,
+            channel_depth=self.config.channel_depth,
+            segment_size=segment_size,
+            segment_sink=segment_sink,
+            resume_entries=resume_entries,
+            segment_start=segment_start,
+        )
+        self.last_flow_stats = flow.stats
+        stage1 = Stage1Result(
+            collection=flow.collection,
+            now=preamble.classification_epoch,
+            notes=tuple(notes),
+        )
+        # The §4.2 validation runs after the flow drains, exactly where
+        # the batch mode runs it (after classification, before the
+        # stage-2 ledgers are snapshotted).
+        fn_rate: Optional[float] = None
+        if validate:
+            fn_rate = suspicion.false_negative_rate(
+                self._delegated_records_sample(), now=stage1.now
+            )
+        stage2 = Stage2Result(
+            outcome=flow.outcome,
+            fn_rate=fn_rate,
+            source_health=suspicion.checker.source_health(),
+            skipped_conditions=dict(suspicion.checker.skipped_conditions),
+            metrics=flow.metrics,
+        )
+        stage3 = Stage3Result(
+            analysis=flow.analysis,
+            source_health=self.intel.source_health(),
+        )
+        return stage1, stage2, stage3
 
     # -- validation helper --------------------------------------------------
 

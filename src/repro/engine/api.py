@@ -19,7 +19,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence, runtime_checkable
+from typing import (
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..dns.message import Message
 from ..dns.name import Name
@@ -150,4 +158,18 @@ class QueryEngine(Protocol):
 
     def execute(self, tasks: Sequence[QueryTask]) -> List[QueryOutcome]:
         """Drive every task to completion; outcomes in task order."""
+        ...
+
+    def execute_iter(
+        self, tasks: Sequence[QueryTask]
+    ) -> Iterator[Tuple[int, QueryOutcome]]:
+        """Drive tasks lazily, yielding ``(task_index, outcome)`` pairs.
+
+        Outcomes are yielded in *completion* order, which for a
+        concurrent engine differs from task order; the index lets a
+        streaming consumer re-establish the deterministic task order
+        with a reorder buffer.  Not advancing the generator pauses the
+        scan — laziness is the backpressure mechanism of the streaming
+        dataflow.  Exactly one pair is yielded per task.
+        """
         ...

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dns.message import Message
 from ..net.network import NetworkError, SimulatedInternet
@@ -79,8 +79,27 @@ class BatchedEngine:
     # -- QueryEngine protocol ---------------------------------------------
 
     def execute(self, tasks: Sequence[QueryTask]) -> List[QueryOutcome]:
+        outcomes: List[Optional[QueryOutcome]] = [None] * len(tasks)
+        for index, outcome in self.execute_iter(tasks):
+            outcomes[index] = outcome
+        # Every lane drains before it leaves the scheduler, so each task
+        # has an outcome; the assert guards that invariant.
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def execute_iter(
+        self, tasks: Sequence[QueryTask]
+    ) -> Iterator[Tuple[int, QueryOutcome]]:
+        """Lazy scheduler loop: yield each outcome the moment its lane
+        completes it.
+
+        Completion order is the lane schedule's order, not task order —
+        the yielded index lets a streaming consumer reorder.  The
+        generator only advances (and the virtual clock only ticks) when
+        the consumer pulls, so an unconsumed scan costs nothing.
+        """
         if not tasks:
-            return []
+            return
         network = self.network
         policy = self.policy
         limiter = self._limiter
@@ -89,7 +108,6 @@ class BatchedEngine:
         latency = self.metrics.latency
         query_dns_auto = network.query_dns_auto
         scanner_ip = self.scanner_ip
-        outcomes: List[Optional[QueryOutcome]] = [None] * len(tasks)
 
         # Shard into lanes, preserving the caller's (randomized) order
         # within each server.
@@ -162,7 +180,7 @@ class BatchedEngine:
             if not breaker.allow(server_ip, now):
                 lane.queue.popleft()
                 counters.skipped += 1
-                outcomes[index] = QueryOutcome(
+                yield index, QueryOutcome(
                     task=task,
                     status=OutcomeStatus.SKIPPED,
                     attempts=lane.attempts,
@@ -189,7 +207,7 @@ class BatchedEngine:
                 breaker.record_success(server_ip)
                 counters.responses += 1
                 latency.record(now - sent_at)
-                outcomes[index] = QueryOutcome(
+                yield index, QueryOutcome(
                     task=task,
                     status=OutcomeStatus.ANSWERED,
                     response=response,
@@ -209,7 +227,7 @@ class BatchedEngine:
             lane_free_at = now + policy.timeout
             if lane.attempts > policy.retries:
                 counters.giveups += 1
-                outcomes[index] = QueryOutcome(
+                yield index, QueryOutcome(
                     task=task,
                     status=OutcomeStatus.GAVE_UP,
                     attempts=lane.attempts,
@@ -223,11 +241,6 @@ class BatchedEngine:
             heapq.heappush(waiting, (lane_free_at, sequence, lane, True))
             busy += 1
             sequence += 1
-
-        # Every lane drains before it leaves the scheduler, so each task
-        # has an outcome; the assert guards that invariant.
-        assert all(outcome is not None for outcome in outcomes)
-        return outcomes  # type: ignore[return-value]
 
     # -- internals ---------------------------------------------------------
 

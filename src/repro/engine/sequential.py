@@ -13,7 +13,7 @@ comparison baseline for the scheduling benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dns.message import Message
 from ..net.network import NetworkError, SimulatedInternet
@@ -48,6 +48,18 @@ class SequentialEngine:
         for task in tasks:
             outcomes.append(self._run_task(task))
         return outcomes
+
+    def execute_iter(
+        self, tasks: Sequence[QueryTask]
+    ) -> Iterator[Tuple[int, QueryOutcome]]:
+        """Lazy variant of :meth:`execute` for the streaming dataflow.
+
+        The serial engine completes tasks in submission order, so the
+        yielded indices are simply 0, 1, 2, ...; a paused consumer
+        pauses the scan (no query is sent until the next pull).
+        """
+        for index, task in enumerate(tasks):
+            yield index, self._run_task(task)
 
     # -- internals ---------------------------------------------------------
 

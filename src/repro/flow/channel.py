@@ -1,0 +1,74 @@
+"""Bounded channels: the edges of the streaming dataflow graph.
+
+A :class:`Channel` is a bounded FIFO connecting two
+:class:`~repro.flow.nodes.StageNode` instances.  Capacity is the
+backpressure mechanism: a producer may only ``put`` while the channel
+is not ``full``, so a slow consumer stalls its upstream instead of
+letting items pile up.  End-of-stream is signalled by ``close()`` — the
+channel-level sentinel — after which ``drained`` tells the consumer no
+further items will ever arrive.
+
+Channels also keep occupancy statistics (``max_occupancy``, ``total``)
+so tests and benchmarks can assert that buffering really is bounded by
+the configured depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class ChannelError(RuntimeError):
+    """A channel contract was violated (overfull put, put after close)."""
+
+
+class Channel(Generic[T]):
+    """A bounded FIFO edge with an end-of-stream sentinel."""
+
+    def __init__(self, name: str, depth: int):
+        if depth < 1:
+            raise ValueError(f"channel depth must be >= 1, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._items: Deque[T] = deque()
+        self.closed = False
+        #: items ever put (throughput accounting)
+        self.total = 0
+        #: high-water mark of the queue (boundedness accounting)
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def drained(self) -> bool:
+        """No item is buffered and none will ever arrive."""
+        return self.closed and not self._items
+
+    def put(self, item: T) -> None:
+        if self.closed:
+            raise ChannelError(f"put on closed channel {self.name!r}")
+        if self.full:
+            raise ChannelError(
+                f"channel {self.name!r} overfull (depth {self.depth})"
+            )
+        self._items.append(item)
+        self.total += 1
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+
+    def get(self) -> T:
+        if not self._items:
+            raise ChannelError(f"get on empty channel {self.name!r}")
+        return self._items.popleft()
+
+    def close(self) -> None:
+        """End of stream: the producer will put nothing further."""
+        self.closed = True

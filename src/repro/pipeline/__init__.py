@@ -38,6 +38,7 @@ _LAZY_RUNNER = {
     "STAGE2",
     "STAGE3",
     "STAGE_ORDER",
+    "STREAM_STAGE",
 }
 _LAZY_CHECKPOINT = {"CheckpointStore", "config_fingerprint"}
 
@@ -68,6 +69,7 @@ __all__ = [
     "STAGE2",
     "STAGE3",
     "STAGE_ORDER",
+    "STREAM_STAGE",
     "SourceError",
     "SourceGuard",
     "SourceHealth",

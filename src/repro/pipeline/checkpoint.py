@@ -48,7 +48,9 @@ from .errors import CheckpointError
 from .resilience import SourceHealth
 
 #: checkpoint format version; bump when the payload schema changes
-FORMAT_VERSION = 1
+#: (v2: stage-1 ``now`` became the classification epoch, stage-2
+#: metrics dropped their wall-clock fields, stream segments added)
+FORMAT_VERSION = 2
 
 
 # -- generic json helpers ---------------------------------------------------
@@ -271,6 +273,14 @@ def decode_metrics(
 def encode_stage2_metrics(
     metrics: Optional[Stage2Metrics],
 ) -> Optional[Dict[str, Any]]:
+    """Deterministic stage-2 counters only.
+
+    The wall-clock fields (``wall_s``, ``condition_s``) are deliberately
+    *not* checkpointed: they leak host timing into payloads that must be
+    reproducible, and a resumed run could not honestly restore them
+    anyway.  ``decode_stage2_metrics`` leaves them at their dataclass
+    defaults (0.0 / empty).
+    """
     if metrics is None:
         return None
     return {
@@ -281,8 +291,6 @@ def encode_stage2_metrics(
         "cache_misses": metrics.cache_misses,
         "workers": metrics.workers,
         "memoized": metrics.memoized,
-        "wall_s": metrics.wall_s,
-        "condition_s": dict(sorted(metrics.condition_s.items())),
         "pdns_cache_hits": metrics.pdns_cache_hits,
         "pdns_cache_misses": metrics.pdns_cache_misses,
         "ipinfo_cache_hits": metrics.ipinfo_cache_hits,
@@ -398,6 +406,26 @@ def decode_stage2(payload: Dict[str, Any]) -> Stage2Result:
     )
 
 
+def encode_segment(
+    index: int, entries: List[ClassifiedUR]
+) -> Dict[str, Any]:
+    """One incremental stream segment: a slice of stage-2 classifications.
+
+    Segments carry only the classified entries (stage 3 is always
+    recomputed at end of stream, and the scan itself is re-driven on
+    resume — it is deterministic), indexed so a resume can verify the
+    on-disk prefix is contiguous.
+    """
+    return {
+        "index": index,
+        "classified": [encode_classified(entry) for entry in entries],
+    }
+
+
+def decode_segment(payload: Dict[str, Any]) -> List[ClassifiedUR]:
+    return [decode_classified(item) for item in payload["classified"]]
+
+
 def encode_stage3(stage3: Stage3Result) -> Dict[str, Any]:
     analysis = stage3.analysis
     return {
@@ -439,12 +467,17 @@ class CheckpointStore:
 
     MANIFEST = "manifest.json"
     FAILURE = "failure.json"
+    #: incremental stream-segment files: ``stream-seg-00042.json``
+    SEGMENT_PREFIX = "stream-seg-"
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
 
     def _stage_file(self, stage: str) -> Path:
         return self.path / f"{stage}.json"
+
+    def _segment_file(self, index: int) -> Path:
+        return self.path / f"{self.SEGMENT_PREFIX}{index:05d}.json"
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -503,6 +536,34 @@ class CheckpointStore:
             path = self._stage_file(stage)
             if path.exists():
                 path.unlink()
+
+    # -- stream segments -----------------------------------------------------
+
+    def save_segment(self, index: int, payload: Dict[str, Any]) -> None:
+        """Persist one incremental stream segment (atomic, like stages)."""
+        self._write(self._segment_file(index), payload)
+
+    def load_segments(self) -> List[Dict[str, Any]]:
+        """All segment payloads, index order, contiguity enforced.
+
+        A gap means a segment file was lost — replaying past it would
+        silently misalign the resumed classification stream, so it is a
+        :class:`CheckpointError` instead.
+        """
+        paths = sorted(self.path.glob(f"{self.SEGMENT_PREFIX}*.json"))
+        payloads = [self._read(path) for path in paths]
+        for position, payload in enumerate(payloads):
+            if payload.get("index") != position:
+                raise CheckpointError(
+                    "stream segments not contiguous: expected index "
+                    f"{position}, found {payload.get('index')!r}"
+                )
+        return payloads
+
+    def clear_segments(self) -> None:
+        """Drop all segments (the full stage checkpoints supersede them)."""
+        for path in self.path.glob(f"{self.SEGMENT_PREFIX}*.json"):
+            path.unlink()
 
     # -- failure provenance ---------------------------------------------------
 

@@ -33,13 +33,16 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ..core.hunter import Stage1Result, Stage2Result, Stage3Result, URHunter
+from ..core.records import ClassifiedUR
 from ..core.report import MeasurementReport
 from .checkpoint import (
     CheckpointStore,
     config_fingerprint,
+    decode_segment,
     decode_stage1,
     decode_stage2,
     decode_stage3,
+    encode_segment,
     encode_stage1,
     encode_stage2,
     encode_stage3,
@@ -50,10 +53,16 @@ STAGE1 = "stage1-collect"
 STAGE2 = "stage2-exclude"
 STAGE3 = "stage3-analyze"
 STAGE_ORDER: Tuple[str, ...] = (STAGE1, STAGE2, STAGE3)
+#: the fused streaming dataflow, for failure provenance
+STREAM_STAGE = "stream-flow"
 
 #: set this to a stage name to make the runner kill its own process at
 #: that stage's start — the kill-and-resume smoke test's crash hook
 CRASH_ENV = "URHUNTER_CRASH_STAGE"
+#: set this to a segment index to make a streaming runner kill its own
+#: process right after persisting that segment — the mid-stream
+#: kill-and-resume test's crash hook
+CRASH_SEGMENT_ENV = "URHUNTER_CRASH_SEGMENT"
 
 
 @dataclass
@@ -87,13 +96,21 @@ class PipelineRunner:
         store: Optional[CheckpointStore] = None,
         resume: bool = False,
         scenario_fingerprint: Optional[str] = None,
+        checkpoint_every: int = 0,
     ):
         if resume and store is None:
             raise ValueError("resume requires a checkpoint store")
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
         self.hunter = hunter
         self.store = store
         self.resume = resume
         self.scenario_fingerprint = scenario_fingerprint
+        #: streaming runs persist a segment every N classified records
+        #: (0 disables incremental segments)
+        self.checkpoint_every = checkpoint_every
 
     # -- helpers -----------------------------------------------------------
 
@@ -107,6 +124,13 @@ class PipelineRunner:
     def _maybe_crash(stage: str) -> None:
         """Crash hook for kill-and-resume testing (see :data:`CRASH_ENV`)."""
         if os.environ.get(CRASH_ENV) == stage:
+            os.kill(os.getpid(), signal.SIGTERM)
+
+    @staticmethod
+    def _maybe_crash_segment(index: int) -> None:
+        """Segment crash hook (see :data:`CRASH_SEGMENT_ENV`)."""
+        target = os.environ.get(CRASH_SEGMENT_ENV)
+        if target is not None and int(target) == index:
             os.kill(os.getpid(), signal.SIGTERM)
 
     def _downstream(self, stage: str) -> Tuple[str, ...]:
@@ -142,14 +166,42 @@ class PipelineRunner:
         and including it are written, the report is not built (the
         returned result carries ``report=None``).  Used by tests and by
         operators splitting a long scan across maintenance windows.
+        Batch execution only: the streaming dataflow fuses the stages,
+        so there is no between-stages point to stop at.
+
+        With ``config.execution == "stream"`` the three stages run as
+        one record-level dataflow (:meth:`URHunter.run_flow`), with
+        incremental segment checkpoints every ``checkpoint_every``
+        classified records.  Exception: when completed *stage*
+        checkpoints from an earlier (batch or finished-stream) run are
+        available to resume, the staged path is used so they are
+        honoured — output is byte-identical either way.
         """
         if stop_after is not None and stop_after not in STAGE_ORDER:
             raise ValueError(
                 f"unknown stage {stop_after!r} "
                 f"(known: {', '.join(STAGE_ORDER)})"
             )
+        streaming = self.hunter.config.execution == "stream"
+        if streaming and stop_after is not None:
+            raise ValueError(
+                "stop_after is incompatible with streaming execution: "
+                "the dataflow fuses the stages"
+            )
         if self.store is not None:
             self.store.prepare(self._fingerprint(), resume=self.resume)
+        if streaming and not (
+            self.resume
+            and self.store is not None
+            and self.store.has(STAGE1)
+        ):
+            return self._run_stream(validate)
+        return self._run_staged(validate, stop_after)
+
+    def _run_staged(
+        self, validate: bool, stop_after: Optional[str]
+    ) -> PipelineResult:
+        """The batch path: three stages, a checkpoint after each."""
         resumed: list = []
         executed: list = []
         # Once any stage runs live, later checkpoints no longer describe
@@ -225,4 +277,68 @@ class PipelineRunner:
             report=report,
             resumed=tuple(resumed),
             executed=tuple(executed),
+        )
+
+    # -- the streaming path -------------------------------------------------
+
+    def _run_stream(self, validate: bool) -> PipelineResult:
+        """The streaming path: one fused dataflow, segment checkpoints.
+
+        A resumed run replays any contiguous segment prefix left by a
+        crashed stream (the scan is re-driven — it is deterministic —
+        but stage-2 classification skips the replayed records), then
+        continues live.  On success all three *stage* checkpoints are
+        written exactly as the batch path writes them — streaming
+        assembles byte-identical stage results — and the segments are
+        superseded and cleared.
+        """
+        store = self.store
+        resumed: list = []
+        resume_entries: list[ClassifiedUR] = []
+        segment_start = 0
+        if self.resume and store is not None:
+            for payload in store.load_segments():
+                resume_entries.extend(decode_segment(payload))
+                segment_start += 1
+            if segment_start:
+                resumed.append(f"segments:{segment_start}")
+        segment_sink = None
+        if store is not None and self.checkpoint_every > 0:
+            def segment_sink(index: int, entries: list) -> None:
+                store.save_segment(index, encode_segment(index, entries))
+                self._maybe_crash_segment(index)
+        self._maybe_crash(STAGE1)
+        if store is not None:
+            # going live: stage snapshots of any earlier run no longer
+            # describe this run's state (segments are the resume medium)
+            store.invalidate_from(list(STAGE_ORDER))
+        try:
+            stage1, stage2, stage3 = self.hunter.run_flow(
+                validate=validate,
+                segment_size=self.checkpoint_every,
+                segment_sink=segment_sink,
+                resume_entries=resume_entries,
+                segment_start=segment_start,
+            )
+        except StageFailed as error:
+            if store is not None:
+                store.record_failure(error.stage, error)
+            raise
+        except Exception as error:
+            if store is not None:
+                store.record_failure(STREAM_STAGE, error)
+            raise StageFailed(STREAM_STAGE, error) from error
+        executed = (STAGE1, STAGE2, STAGE3)
+        if store is not None:
+            store.save(STAGE1, encode_stage1(stage1))
+            store.save(STAGE2, encode_stage2(stage2, validated=validate))
+            store.save(STAGE3, encode_stage3(stage3))
+            store.clear_segments()
+        report = self.hunter.build_report(stage1, stage2, stage3)
+        if store is not None:
+            store.clear_failure()
+        return PipelineResult(
+            report=report,
+            resumed=tuple(resumed),
+            executed=executed,
         )

@@ -206,25 +206,23 @@ class TestRateLimiting:
         assert network.now - before < 1.0
 
 
-class TestCollectionResultShim:
-    def test_tuple_unpacking_warns_but_works(self, setup):
-        _, collector, nameservers, domains = setup
-        with pytest.warns(DeprecationWarning, match="named fields"):
-            urs, responses, queries, timeouts = collector.collect_urs(
-                nameservers, domains, {}
-            )
-        assert urs
-        assert queries >= responses > 0
-        assert timeouts == queries - responses
-
-    def test_legacy_tuple_matches_fields(self, setup):
+class TestTypedCollectionResult:
+    def test_tuple_unpacking_shim_is_gone(self, setup):
+        """The deprecated 4-tuple unpacking was removed: the typed
+        result is deliberately not iterable."""
         _, collector, nameservers, domains = setup
         result = collector.collect_urs(nameservers, domains, {})
-        assert result.legacy_tuple() == (
-            result.undelegated,
-            result.responses_seen,
-            result.queries_sent,
-            result.timeouts,
+        with pytest.raises(TypeError):
+            iter(result)
+        assert not hasattr(result, "legacy_tuple")
+
+    def test_wire_counters_consistent(self, setup):
+        _, collector, nameservers, domains = setup
+        result = collector.collect_urs(nameservers, domains, {})
+        assert result.undelegated
+        assert result.queries_sent >= result.responses_seen > 0
+        assert result.timeouts == (
+            result.queries_sent - result.responses_seen
         )
 
     def test_collect_all_folds_everything(self, setup):
@@ -243,22 +241,33 @@ class TestCollectionResultShim:
         assert result.metrics.stage("ur").queries > 0
         assert result.metrics.stage("protective").queries > 0
 
+    def test_collect_all_pins_classification_epoch(self, setup):
+        """The classification clock is pinned after the protective +
+        correct collections, before the UR scan starts."""
+        network, collector, nameservers, domains = setup
+        database = CorrectRecordDatabase(IpInfoDatabase())
+        result = collector.collect_all(
+            nameservers,
+            domains,
+            delegated_to={},
+            open_resolver_ips=[],
+            correct_db=database,
+        )
+        assert 0.0 < result.classification_epoch <= network.now
 
-class TestQueryTypesAlias:
-    def test_class_access_yields_defaults(self):
-        from repro.core.collector import DEFAULT_QUERY_TYPES
 
-        assert ResponseCollector.QUERY_TYPES == DEFAULT_QUERY_TYPES
+class TestQueryTypesApi:
+    def test_query_types_alias_is_gone(self):
+        """ResponseCollector.QUERY_TYPES (deprecated since PR 1) was
+        removed; collector.query_types is the only spelling."""
+        assert not hasattr(ResponseCollector, "QUERY_TYPES")
 
-    def test_instance_access_warns_and_tracks_override(self, setup):
+    def test_query_types_tracks_override(self, setup):
         network, _, _, _ = setup
         collector = ResponseCollector(
             network, query_types=(RRType.A, RRType.TXT, RRType.MX)
         )
-        with pytest.warns(DeprecationWarning, match="query_types"):
-            alias = collector.QUERY_TYPES
-        assert alias == (RRType.A, RRType.TXT, RRType.MX)
-        assert alias == collector.query_types
+        assert collector.query_types == (RRType.A, RRType.TXT, RRType.MX)
 
 
 class TestEngineSelection:

@@ -149,6 +149,15 @@ class TestCheckpointFingerprint:
         assert (
             config_fingerprint(HunterConfig(stage2_memoize=False)) == base
         )
+        # execution mode is a perf knob too: batch and stream assemble
+        # byte-identical stage results, so their checkpoints interchange
+        assert config_fingerprint(HunterConfig(execution="stream")) == base
+        assert (
+            config_fingerprint(
+                HunterConfig(execution="stream", channel_depth=1)
+            )
+            == base
+        )
 
     def test_semantic_knobs_still_fingerprinted(self):
         base = config_fingerprint(HunterConfig())

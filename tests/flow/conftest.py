@@ -1,0 +1,30 @@
+"""Fixtures for the streaming-dataflow suite (``repro.flow``)."""
+
+import pytest
+
+from repro.core import HunterConfig, URHunter
+from repro.scenario import build_world, small_config
+
+
+def make_world(seed: int = 7):
+    """A fresh small world (never shared: faulted runs mutate them)."""
+    return build_world(small_config(seed=seed))
+
+
+def stream_hunter(
+    depth: int = 64, workers: int = 1, world=None, **overrides
+) -> URHunter:
+    """A hunter configured for streaming execution."""
+    config = HunterConfig(
+        execution="stream",
+        channel_depth=depth,
+        stage2_workers=workers,
+        **overrides,
+    )
+    return URHunter.from_world(world or make_world(), config)
+
+
+@pytest.fixture(scope="module")
+def batch_summary() -> str:
+    """The byte surface every streaming run must reproduce exactly."""
+    return URHunter.from_world(make_world()).run().summary()

@@ -1,0 +1,75 @@
+"""Unit contract of the dataflow edges: bounded FIFO + EOS sentinel."""
+
+import pytest
+
+from repro.flow import Channel, ChannelError, FlowGraph, FlowStalled
+
+
+class TestChannel:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError, match="depth"):
+            Channel("bad", 0)
+
+    def test_fifo_order(self):
+        channel = Channel("fifo", 3)
+        for item in ("a", "b", "c"):
+            channel.put(item)
+        assert [channel.get() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_put_beyond_depth_raises(self):
+        channel = Channel("tight", 1)
+        channel.put("only")
+        assert channel.full
+        with pytest.raises(ChannelError, match="overfull"):
+            channel.put("overflow")
+
+    def test_put_after_close_raises(self):
+        channel = Channel("eos", 2)
+        channel.close()
+        with pytest.raises(ChannelError, match="closed"):
+            channel.put("late")
+
+    def test_get_on_empty_raises(self):
+        with pytest.raises(ChannelError, match="empty"):
+            Channel("hollow", 2).get()
+
+    def test_drained_requires_close_and_empty(self):
+        channel = Channel("drain", 2)
+        channel.put("item")
+        assert not channel.drained
+        channel.close()
+        # closed but an item is still buffered
+        assert not channel.drained
+        channel.get()
+        assert channel.drained
+
+    def test_occupancy_accounting(self):
+        channel = Channel("stats", 4)
+        channel.put(1)
+        channel.put(2)
+        channel.get()
+        channel.put(3)
+        # high-water mark was 2, never the depth
+        assert channel.max_occupancy == 2
+        assert channel.total == 3
+        assert len(channel) == 2
+
+
+class _Deadbeat:
+    """A node that can never progress — the stall detector's prey."""
+
+    name = "deadbeat"
+    done = False
+
+    def step(self) -> bool:
+        return False
+
+
+class TestFlowGraph:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            FlowGraph([], [])
+
+    def test_stall_is_detected_and_named(self):
+        with pytest.raises(FlowStalled, match="deadbeat"):
+            FlowGraph([_Deadbeat()], []).run()

@@ -1,0 +1,185 @@
+"""Incremental segment checkpoints: mid-stream crash → resume →
+byte-identical output, plus batch↔stream checkpoint interchange.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import URHunter
+from repro.pipeline import (
+    CheckpointStore,
+    PipelineRunner,
+    STAGE1,
+    STAGE_ORDER,
+    StageFailed,
+)
+from repro.pipeline.runner import CRASH_SEGMENT_ENV
+
+from .conftest import make_world, stream_hunter
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CLI = [sys.executable, "-m", "repro", "--scale", "small"]
+STREAM_ARGS = ["--execution", "stream", "--checkpoint-every", "5"]
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("URHUNTER_CRASH_STAGE", None)
+    env.pop(CRASH_SEGMENT_ENV, None)
+    return env
+
+
+def segment_files(directory: Path):
+    return sorted(directory.glob(f"{CheckpointStore.SEGMENT_PREFIX}*"))
+
+
+class TestRunnerStreamValidation:
+    def test_stop_after_rejected_for_streaming(self):
+        runner = PipelineRunner(stream_hunter())
+        with pytest.raises(ValueError, match="fuses the stages"):
+            runner.run(stop_after=STAGE1)
+
+    def test_negative_checkpoint_every_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            PipelineRunner(stream_hunter(), checkpoint_every=-1)
+
+
+class TestSegmentLifecycle:
+    def test_finished_stream_supersedes_segments(
+        self, tmp_path, batch_summary
+    ):
+        result = PipelineRunner(
+            stream_hunter(),
+            store=CheckpointStore(tmp_path),
+            checkpoint_every=5,
+        ).run()
+        assert result.executed == STAGE_ORDER
+        assert result.report.summary() == batch_summary
+        # segments were the in-flight medium; the stage checkpoints
+        # replace them on success
+        assert segment_files(tmp_path) == []
+        for stage in STAGE_ORDER:
+            assert (tmp_path / f"{stage}.json").exists()
+
+    def test_crash_after_segment_then_resume(
+        self, tmp_path, monkeypatch, batch_summary
+    ):
+        def explode(index: int) -> None:
+            if index == 1:
+                raise RuntimeError("injected mid-stream crash")
+
+        monkeypatch.setattr(
+            PipelineRunner, "_maybe_crash_segment", staticmethod(explode)
+        )
+        with pytest.raises(StageFailed, match="stream-flow"):
+            PipelineRunner(
+                stream_hunter(),
+                store=CheckpointStore(tmp_path),
+                checkpoint_every=5,
+            ).run()
+        # segments 0 and 1 were persisted before the crash; no stage
+        # checkpoint exists yet
+        assert len(segment_files(tmp_path)) == 2
+        assert not (tmp_path / f"{STAGE1}.json").exists()
+        failure = json.loads((tmp_path / "failure.json").read_text())
+        assert failure["stage"] == "stream-flow"
+
+        monkeypatch.undo()
+        resumed = PipelineRunner(
+            stream_hunter(),
+            store=CheckpointStore(tmp_path),
+            resume=True,
+            checkpoint_every=5,
+        ).run()
+        assert "segments:2" in resumed.resumed
+        assert resumed.report.summary() == batch_summary
+        assert segment_files(tmp_path) == []
+        assert not (tmp_path / "failure.json").exists()
+
+
+class TestMixedModeResume:
+    """Stage checkpoints interchange between execution modes: the
+    fingerprint treats execution/channel_depth as perf knobs because the
+    persisted stage results are byte-identical."""
+
+    def test_stream_resumes_batch_checkpoints(
+        self, tmp_path, batch_summary
+    ):
+        PipelineRunner(
+            URHunter.from_world(make_world()),
+            store=CheckpointStore(tmp_path),
+        ).run()
+        replayer = stream_hunter()
+        replay = PipelineRunner(
+            replayer, store=CheckpointStore(tmp_path), resume=True
+        ).run()
+        assert replay.resumed == STAGE_ORDER
+        assert replay.executed == ()
+        assert replayer.engine.metrics.queries == 0
+        assert replay.report.summary() == batch_summary
+
+    def test_batch_resumes_stream_checkpoints(
+        self, tmp_path, batch_summary
+    ):
+        PipelineRunner(
+            stream_hunter(), store=CheckpointStore(tmp_path)
+        ).run()
+        replayer = URHunter.from_world(make_world())
+        replay = PipelineRunner(
+            replayer, store=CheckpointStore(tmp_path), resume=True
+        ).run()
+        assert replay.resumed == STAGE_ORDER
+        assert replayer.engine.metrics.queries == 0
+        assert replay.report.summary() == batch_summary
+
+
+class TestMidStreamKillAndResumeSubprocess:
+    """The CI smoke test: SIGTERM right after a segment is persisted,
+    resume, compare stdout byte-for-byte against an uninterrupted
+    *batch* run — one subprocess matrix covers both invariants."""
+
+    def test_sigterm_after_segment_then_resume(self, tmp_path):
+        baseline = subprocess.run(
+            CLI + ["run"],
+            capture_output=True,
+            env=cli_env(),
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert baseline.returncode == 0, baseline.stderr.decode()
+
+        ckpt = tmp_path / "ckpt"
+        crash_env = cli_env()
+        crash_env[CRASH_SEGMENT_ENV] = "1"
+        crashed = subprocess.run(
+            CLI + STREAM_ARGS + ["--checkpoint-dir", str(ckpt), "run"],
+            capture_output=True,
+            env=crash_env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        # killed by SIGTERM: raw -15 or shell-style 143
+        assert crashed.returncode in (-signal.SIGTERM, 143)
+        assert len(segment_files(ckpt)) == 2
+        assert not (ckpt / f"{STAGE1}.json").exists()
+
+        resumed = subprocess.run(
+            CLI
+            + STREAM_ARGS
+            + ["--checkpoint-dir", str(ckpt), "--resume", "run"],
+            capture_output=True,
+            env=cli_env(),
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert resumed.returncode == 0, resumed.stderr.decode()
+        assert resumed.stdout == baseline.stdout
+        assert b"segments:2" in resumed.stderr
+        assert segment_files(ckpt) == []

@@ -1,0 +1,82 @@
+"""No wall-clock leakage into deterministic byte surfaces.
+
+Two surfaces are byte-compared across runs (CI resume transcripts, the
+batch↔stream equivalence suite): ``MeasurementReport.summary()`` and
+the JSON checkpoints.  Wall-clock readings vary run to run, so any
+timing figure on either surface would break the comparisons — timing
+belongs exclusively to :meth:`Stage2Metrics.timing_summary`, which goes
+to stderr diagnostics only.
+"""
+
+import json
+
+import pytest
+
+from repro.core import URHunter
+from repro.pipeline import CheckpointStore, PipelineRunner, STAGE_ORDER
+from repro.pipeline.checkpoint import (
+    encode_segment,
+    encode_stage2,
+    encode_stage2_metrics,
+)
+
+from .conftest import make_world
+
+FORBIDDEN = ("wall_s", "condition_s", "records/s", "wall=")
+
+
+class TestNoTimingLeakage:
+    @pytest.fixture(scope="class")
+    def checkpointed_run(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("timing")
+        hunter = URHunter.from_world(make_world())
+        result = PipelineRunner(
+            hunter, store=CheckpointStore(directory)
+        ).run()
+        return directory, result.report
+
+    def test_report_summary_has_no_wall_clock(self, checkpointed_run):
+        _, report = checkpointed_run
+        text = report.summary().lower()
+        assert "wall" not in text
+        for token in FORBIDDEN:
+            assert token not in text
+
+    def test_metrics_split_timing_from_counters(self, checkpointed_run):
+        _, report = checkpointed_run
+        metrics = report.stage2_metrics
+        assert "wall" not in metrics.summary()
+        # the diagnostic view is where timing lives — by design
+        assert "wall" in metrics.timing_summary()
+
+    def test_stage_checkpoints_have_no_wall_clock(self, checkpointed_run):
+        directory, _ = checkpointed_run
+        for stage in STAGE_ORDER:
+            blob = (directory / f"{stage}.json").read_text()
+            for token in ("wall_s", "condition_s"):
+                assert token not in blob, f"{stage} leaks {token}"
+
+    def test_encode_stage2_metrics_drops_timing_fields(
+        self, checkpointed_run
+    ):
+        _, report = checkpointed_run
+        payload = encode_stage2_metrics(report.stage2_metrics)
+        assert payload is not None
+        assert not {"wall_s", "condition_s"} & payload.keys()
+
+    def test_segment_payload_has_no_wall_clock(self, checkpointed_run):
+        _, report = checkpointed_run
+        payload = encode_segment(0, list(report.classified[:5]))
+        assert set(payload) == {"index", "classified"}
+        blob = json.dumps(payload)
+        assert "wall_s" not in blob and "condition_s" not in blob
+
+    def test_full_stage2_payload_round_trips_without_timing(
+        self, checkpointed_run
+    ):
+        _, report = checkpointed_run
+        hunter = URHunter.from_world(make_world())
+        stage1 = hunter.stage1_collect()
+        stage2 = hunter.stage2_exclude(stage1, validate=True)
+        blob = json.dumps(encode_stage2(stage2, validated=True))
+        assert "wall_s" not in blob and "condition_s" not in blob
