@@ -1,0 +1,60 @@
+"""Benchmark: observability overhead (traced vs untraced runs).
+
+The event bus rides every stage of the pipeline, so its cost must be
+noise.  Runs the full three-stage measurement with and without an
+attached :class:`RunTrace` at two scenario sizes and asserts the traced
+run stays within a generous wall-clock margin of the untraced one —
+the deterministic report bytes must of course be identical either way.
+"""
+
+import time
+
+from repro.core import URHunter
+from repro.obs import RunTrace
+from repro.scenario import ScenarioConfig, build_world, small_config
+
+from .conftest import banner
+
+SIZES = [
+    ("small", lambda: small_config(seed=7)),
+    ("default", lambda: ScenarioConfig(seed=7)),
+]
+
+#: traced wall clock may exceed untraced by at most this factor — the
+#: bus does one dict build + list append per event, nothing per record
+MAX_OVERHEAD = 1.25
+
+
+def _measure(scenario_factory, traced: bool):
+    """One full measurement; returns (report, wall_s, event_count)."""
+    world = build_world(scenario_factory())
+    hunter = URHunter.from_world(world)
+    trace = None
+    if traced:
+        trace = RunTrace()
+        hunter.attach_trace(trace)
+    start = time.perf_counter()
+    report = hunter.run()
+    wall = time.perf_counter() - start
+    events = len(trace.events()) if trace is not None else 0
+    return report, wall, events
+
+
+def test_trace_overhead_is_noise():
+    banner("observability: traced vs untraced measurement")
+    for label, factory in SIZES:
+        plain_report, plain_wall, _ = _measure(factory, traced=False)
+        traced_report, traced_wall, events = _measure(factory, traced=True)
+        # tracing must not perturb the measurement itself
+        assert traced_report.summary() == plain_report.summary()
+        ratio = traced_wall / plain_wall if plain_wall > 0 else 1.0
+        print(
+            f"  {label:>8}  untraced {plain_wall * 1000:8.1f}ms  "
+            f"traced {traced_wall * 1000:8.1f}ms  "
+            f"({events} events, ratio {ratio:.2f})"
+        )
+        assert events > 0
+        assert ratio <= MAX_OVERHEAD, (
+            f"tracing overhead {ratio:.2f}x exceeds {MAX_OVERHEAD}x "
+            f"at scale {label}"
+        )

@@ -8,7 +8,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``figures``    — Figure 2 and Figure 3(a)-(d) with paper comparisons;
 * ``casestudies``— the §5.3 case studies;
 * ``defenses``   — score reputation vs direct-resolution monitoring;
-* ``validate``   — the §4.2 zero-false-negative check.
+* ``validate``   — the §4.2 zero-false-negative check;
+* ``trace summarize FILE`` — render a ``--trace-out`` JSONL as a
+  per-stage span tree with event counters.
 
 Shared options: ``--seed``, ``--scale {small,default,paper}``,
 ``--post-disclosure``, ``--mx`` (future-work MX sweep).
@@ -17,6 +19,11 @@ Resilience options: ``--checkpoint-dir`` writes per-stage JSON
 checkpoints, ``--resume`` continues a killed run from the last completed
 stage, and the ``--*-fault-rate`` knobs inject seeded data-source faults
 for chaos testing.
+
+Observability options: ``--trace-out PATH`` streams the run's event bus
+(:mod:`repro.obs`) to a JSONL file, ``--metrics-out PATH`` writes the
+consolidated metrics document, and ``-q``/``-v`` tune stderr verbosity
+(stdout stays machine-readable at every level).
 
 Exit codes (stable contract, relied on by CI):
 
@@ -31,7 +38,9 @@ Exit codes (stable contract, relied on by CI):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 EXIT_OK = 0
@@ -61,6 +70,14 @@ from .defense import evaluate_defenses
 from .dns.rdata import RRType
 from .hosting import TABLE2_PROVIDERS
 from .intel.aggregator import ThreatIntelAggregator
+from .obs import (
+    Reporter,
+    RunTrace,
+    Verbosity,
+    build_metrics_document,
+    summarize_trace,
+)
+from .obs.summarize import TraceFormatError
 from .pipeline import (
     CheckpointError,
     CheckpointStore,
@@ -257,6 +274,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="RNG seed for the injected data-source faults (default 0)",
     )
+    observability = parser.add_argument_group(
+        "observability", "trace/metrics artifacts and stderr verbosity"
+    )
+    observability.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the run's event bus as JSONL to PATH (deterministic "
+            "section first, timing section after; inspect with "
+            "'repro trace summarize PATH')"
+        ),
+    )
+    observability.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the consolidated metrics document (versioned JSON, "
+            "deterministic and timing sections) to PATH"
+        ),
+    )
+    observability.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress routine stderr diagnostics (errors/warnings stay)",
+    )
+    observability.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="show scheduling/debug detail on stderr",
+    )
     parser.add_argument(
         "command",
         choices=(
@@ -340,38 +391,91 @@ def _apply_faults(args: argparse.Namespace, world, hunter: URHunter) -> None:
         )
 
 
+def _trace_command(argv: List[str], reporter: Reporter) -> int:
+    """Handle ``repro trace summarize FILE`` (dispatched before the main
+    parser: the trace tools need no scenario options)."""
+    if len(argv) != 2 or argv[0] != "summarize":
+        reporter.error("usage: repro trace summarize FILE")
+        return EXIT_USAGE
+    try:
+        print(summarize_trace(argv[1]))
+    except OSError as error:
+        reporter.error(f"error: cannot read trace: {error}")
+        return EXIT_USAGE
+    except TraceFormatError as error:
+        reporter.error(f"error: {error}")
+        return EXIT_USAGE
+    return EXIT_OK
+
+
+def _verbosity(args: argparse.Namespace) -> Verbosity:
+    if args.quiet:
+        return Verbosity.QUIET
+    if args.verbose:
+        return Verbosity.VERBOSE
+    return Verbosity.NORMAL
+
+
+def _write_metrics(
+    path: str,
+    report,
+    runner: PipelineRunner,
+    hunter: URHunter,
+    args: argparse.Namespace,
+) -> None:
+    """Write the consolidated ``--metrics-out`` document."""
+    flow_stats = hunter.last_flow_stats
+    document = build_metrics_document(
+        report,
+        fingerprint=runner._fingerprint(),
+        execution=args.execution,
+        stage2_workers=args.stage2_workers,
+        channel_depth=args.channel_depth,
+        flow_metrics=(
+            flow_stats.to_metrics() if flow_stats is not None else None
+        ),
+    )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if arg_list and arg_list[0] == "trace":
+        return _trace_command(arg_list[1:], Reporter())
+    args = build_parser().parse_args(arg_list)
+    reporter = Reporter(_verbosity(args))
+    if args.quiet and args.verbose:
+        reporter.error("error: --quiet and --verbose are mutually exclusive")
+        return EXIT_USAGE
     if args.resume and not args.checkpoint_dir:
-        print(
-            "error: --resume requires --checkpoint-dir", file=sys.stderr
-        )
+        reporter.error("error: --resume requires --checkpoint-dir")
         return EXIT_USAGE
     if args.checkpoint_every < 0:
-        print(
+        reporter.error(
             f"error: --checkpoint-every must be >= 0, "
-            f"got {args.checkpoint_every}",
-            file=sys.stderr,
+            f"got {args.checkpoint_every}"
         )
         return EXIT_USAGE
     try:
         hunter_config = _hunter_config(args)
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+        reporter.error(f"error: {error}")
         return EXIT_USAGE
-    print(
+    reporter.info(
         f"# scenario: scale={args.scale} seed={args.seed} "
         f"post_disclosure={args.post_disclosure} mx={args.mx} "
-        f"engine={args.engine} loss_rate={args.loss_rate}",
-        file=sys.stderr,
+        f"engine={args.engine} loss_rate={args.loss_rate}"
     )
     world = build_world(_scenario(args))
     if args.loss_rate:
         if not 0.0 <= args.loss_rate < 1.0:
-            print(
+            reporter.error(
                 f"error: --loss-rate must be in [0, 1), "
-                f"got {args.loss_rate}",
-                file=sys.stderr,
+                f"got {args.loss_rate}"
             )
             return EXIT_USAGE
         world.network.inject_faults(
@@ -389,9 +493,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         _apply_faults(args, world, hunter)
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+        reporter.error(f"error: {error}")
         return EXIT_USAGE
 
+    trace = RunTrace(args.trace_out) if args.trace_out else None
+    if trace is not None:
+        hunter.attach_trace(trace)
     store = (
         CheckpointStore(args.checkpoint_dir)
         if args.checkpoint_dir
@@ -408,38 +515,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         result = runner.run(validate=needs_validation)
     except CheckpointError as error:
-        print(f"error: {error}", file=sys.stderr)
+        reporter.error(f"error: {error}")
         return EXIT_ABORTED
     except (StageFailed, PipelineError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        reporter.error(f"error: {error}")
         if store is not None:
-            print(
-                "checkpoints kept; rerun with --resume to continue",
-                file=sys.stderr,
+            reporter.warn(
+                "checkpoints kept; rerun with --resume to continue"
             )
         return EXIT_ABORTED
+    finally:
+        # an aborted run still leaves its partial trace behind —
+        # finalize() is idempotent and rewrites on every call
+        if trace is not None:
+            trace.finalize()
     report = result.report
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, report, runner, hunter, args)
     if result.resumed:
-        print(
-            f"# resumed from checkpoint: {', '.join(result.resumed)}",
-            file=sys.stderr,
+        reporter.info(
+            f"# resumed from checkpoint: {', '.join(result.resumed)}"
         )
     if report.is_degraded:
         degraded = report.degraded
-        print(
+        reporter.warn(
             "warning: degraded run — sources: "
             + (", ".join(degraded.degraded_source_names) or "none")
-            + f"; unverifiable URs: {degraded.unverifiable_urs}",
-            file=sys.stderr,
+            + f"; unverifiable URs: {degraded.unverifiable_urs}"
         )
     if report.stage2_metrics is not None:
         # stderr, not stdout: wall-clock throughput varies run to run and
         # would break the byte-compared resume transcripts
         perf = report.stage2_metrics
-        print(
+        reporter.info(
             f"# stage-2 perf: {perf.records_per_s:,.0f} records/s  "
-            f"workers={perf.workers}  wall={perf.wall_s * 1000:.1f}ms",
-            file=sys.stderr,
+            f"workers={perf.workers}  wall={perf.wall_s * 1000:.1f}ms"
         )
 
     if args.command == "run":

@@ -50,6 +50,7 @@ from ..engine import (
     create_engine,
 )
 from ..net.network import NetworkError, SimulatedInternet
+from ..obs.events import STAGE1 as OBS_STAGE1
 from ..pipeline.errors import StageFailed
 from .correctness import CorrectRecordDatabase
 from .records import UndelegatedRecord, dedupe_urs
@@ -201,6 +202,35 @@ class ResponseCollector:
             )
         self.engine: QueryEngine = engine
         network.register_stub(scanner_ip)
+        #: optional repro.obs.RunTrace — each completed collection phase
+        #: is emitted as a deterministic ``collect.phase`` event
+        self.trace = None
+
+    def emit_phase(self, phase: str) -> None:
+        """Emit the completion event of one collection phase.
+
+        Emitted *here* (not by the hunter after the fact) so breaker
+        trips raised mid-phase interleave identically with the phase
+        markers in both execution modes.  The counters come from the
+        engine's per-phase ledger, which both modes accumulate in the
+        same engine-schedule order.
+        """
+        if self.trace is None:
+            return
+        fields = {}
+        counters = self.engine.metrics.stages.get(phase)
+        if counters is not None:
+            fields = {
+                "queries": counters.queries,
+                "responses": counters.responses,
+                "timeouts": counters.timeouts,
+                "retries": counters.retries,
+                "giveups": counters.giveups,
+                "skipped": counters.skipped,
+            }
+        self.trace.emit(
+            "collect.phase", stage=OBS_STAGE1, phase=phase, **fields
+        )
 
     # -- the whole of stage 1 ---------------------------------------------
 
@@ -229,6 +259,7 @@ class ResponseCollector:
         result = self._guarded(
             "ur", self.collect_urs, nameservers, domains, delegated_to
         )
+        self.emit_phase("ur")
         preamble.fold_into(result)
         result.metrics = self.engine.metrics
         return result
@@ -256,6 +287,7 @@ class ResponseCollector:
             nameservers,
             probe_domain,
         )
+        self.emit_phase("protective")
         successes = self._guarded(
             "correct",
             self.collect_correct_records,
@@ -263,6 +295,7 @@ class ResponseCollector:
             open_resolver_ips,
             correct_db,
         )
+        self.emit_phase("correct")
         return CollectionPreamble(
             protective=protective,
             correct_db=correct_db,

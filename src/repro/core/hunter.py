@@ -37,6 +37,13 @@ from ..intel.aggregator import ThreatIntelAggregator
 from ..intel.ipinfo import IpInfoDatabase
 from ..intel.pdns import PassiveDnsStore
 from ..net.network import SimulatedInternet
+from ..obs.events import (
+    STAGE1 as OBS_STAGE1,
+    STAGE2 as OBS_STAGE2,
+    STAGE3 as OBS_STAGE3,
+    RunTrace,
+    run_end_fields,
+)
 from ..pipeline.errors import SourceError
 from ..pipeline.resilience import SourceHealth, merge_health
 from ..sandbox.ids import Severity
@@ -237,6 +244,43 @@ class HunterConfig:
         )
 
 
+def _stage1_end(collection: CollectionResult) -> Dict[str, object]:
+    """stage.end fields for stage 1 — identical in both execution modes."""
+    return {
+        "records": len(collection.undelegated),
+        "queries": collection.queries_sent,
+        "responses": collection.responses_seen,
+        "timeouts": collection.timeouts,
+    }
+
+
+def _stage2_end(
+    outcome: SuspicionOutcome,
+    metrics: Optional[Stage2Metrics],
+    fn_rate: Optional[float],
+) -> Dict[str, object]:
+    """stage.end fields for stage 2 (deterministic counters only)."""
+    fields: Dict[str, object] = {
+        "records": len(outcome.classified),
+        "suspicious": len(outcome.suspicious),
+    }
+    if metrics is not None:
+        fields["protective"] = metrics.protective_matches
+    if fn_rate is not None:
+        fields["fn_rate"] = fn_rate
+    return fields
+
+
+def _stage3_end(analysis: MaliciousAnalysisResult) -> Dict[str, object]:
+    """stage.end fields for stage 3."""
+    return {
+        "refined": len(analysis.classified),
+        "malicious": len(analysis.malicious),
+        "ip_verdicts": len(analysis.ip_verdicts),
+        "txt_without_ip": analysis.txt_without_ip,
+    }
+
+
 class URHunter:
     """The measurement framework (paper §4)."""
 
@@ -252,6 +296,7 @@ class URHunter:
         pdns: Optional[PassiveDnsStore] = None,
         sandbox_reports: Sequence[SandboxReport] = (),
         config: Optional[HunterConfig] = None,
+        trace: Optional[RunTrace] = None,
     ):
         self.network = network
         self.nameservers = list(nameservers)
@@ -288,6 +333,27 @@ class URHunter:
         self.stage2_ipinfo: Optional[IpInfoDatabase] = None
         #: channel-occupancy statistics of the last streaming run
         self.last_flow_stats = None
+        #: the run-scoped event bus (see repro.obs); stage spans,
+        #: collection progress, and degradation transitions are emitted
+        #: through it when attached
+        self.trace: Optional[RunTrace] = None
+        self.attach_trace(trace)
+
+    def attach_trace(self, trace: Optional[RunTrace]) -> None:
+        """Wire one event bus through the hunter, engine, and collector."""
+        self.trace = trace
+        self.engine.trace = trace
+        self.collector.trace = trace
+
+    def _emit(self, name: str, stage: Optional[str] = None, **fields) -> None:
+        if self.trace is not None:
+            self.trace.emit(name, stage=stage, **fields)
+
+    def _config_fingerprint(self) -> str:
+        # lazy import: repro.pipeline.checkpoint imports this module
+        from ..pipeline.checkpoint import config_fingerprint
+
+        return config_fingerprint(self.config)
 
     @classmethod
     def from_world(
@@ -337,6 +403,12 @@ class URHunter:
         (streaming classifies records while the scan is still running),
         so it is the value checkpoints carry.
         """
+        self._emit(
+            "stage.start",
+            stage=OBS_STAGE1,
+            nameservers=len(self.nameservers),
+            domains=len(self.domains),
+        )
         notes: List[str] = []
         domains = self._expanded_domains(notes)
         correct_db = CorrectRecordDatabase(self.ipinfo)
@@ -349,6 +421,7 @@ class URHunter:
             probe_domain=self.config.probe_domain,
         )
         self.correct_db = correct_db
+        self._emit("stage.end", stage=OBS_STAGE1, **_stage1_end(collection))
         return Stage1Result(
             collection=collection,
             now=collection.classification_epoch,
@@ -364,6 +437,11 @@ class URHunter:
         ``stage1.now`` as the clock — the checkpointed collection
         timestamp — so a resumed run reproduces the live run exactly.
         """
+        self._emit(
+            "stage.start",
+            stage=OBS_STAGE2,
+            records=len(stage1.collection.undelegated),
+        )
         suspicion = self._stage2_filter(stage1.collection.protective)
         outcome = suspicion.classify(
             stage1.collection.undelegated, now=stage1.now
@@ -375,6 +453,11 @@ class URHunter:
             fn_rate = suspicion.false_negative_rate(
                 self._delegated_records_sample(), now=stage1.now
             )
+        self._emit(
+            "stage.end",
+            stage=OBS_STAGE2,
+            **_stage2_end(outcome, metrics, fn_rate),
+        )
         return Stage2Result(
             outcome=outcome,
             fn_rate=fn_rate,
@@ -406,6 +489,8 @@ class URHunter:
             memoize=self.config.stage2_memoize,
         )
         self.last_filter = suspicion
+        if self.trace is not None:
+            checker.guard.bind_trace(self.trace, OBS_STAGE2)
         return suspicion
 
     def _stage3_analyzer(self) -> MaliciousBehaviorAnalyzer:
@@ -419,12 +504,20 @@ class URHunter:
             use_cohost_join=self.config.use_cohost_join,
         )
         self.last_analyzer = analyzer
+        if self.trace is not None:
+            self.intel.guard.bind_trace(self.trace, OBS_STAGE3)
         return analyzer
 
     def stage3_analyze(self, stage2: Stage2Result) -> Stage3Result:
         """Stage 3: malicious behaviour analysis on the suspicious set."""
+        self._emit(
+            "stage.start",
+            stage=OBS_STAGE3,
+            suspicious=len(stage2.outcome.suspicious),
+        )
         analyzer = self._stage3_analyzer()
         analysis = analyzer.analyze(stage2.outcome.suspicious)
+        self._emit("stage.end", stage=OBS_STAGE3, **_stage3_end(analysis))
         return Stage3Result(
             analysis=analysis,
             source_health=self.intel.source_health(),
@@ -487,13 +580,16 @@ class URHunter:
         wrap the hunter in :class:`repro.pipeline.PipelineRunner`
         instead.
         """
+        self._emit("run.start", fingerprint=self._config_fingerprint())
         if self.config.execution == "stream":
             stage1, stage2, stage3 = self.run_flow(validate=validate)
         else:
             stage1 = self.stage1_collect()
             stage2 = self.stage2_exclude(stage1, validate=validate)
             stage3 = self.stage3_analyze(stage2)
-        return self.build_report(stage1, stage2, stage3)
+        report = self.build_report(stage1, stage2, stage3)
+        self._emit("run.end", **run_end_fields(report))
+        return report
 
     # -- streaming dataflow -------------------------------------------------
 
@@ -526,6 +622,16 @@ class URHunter:
         # level would be a cycle.
         from ..flow import run_pipeline_flow
 
+        # Logical span markers: the flow interleaves the three stages, so
+        # the start/end events are emitted around (and after) the pump and
+        # rely on the trace's canonical ordering to land exactly where the
+        # batch mode puts them (see repro.obs.events.TraceEvent.sort_key).
+        self._emit(
+            "stage.start",
+            stage=OBS_STAGE1,
+            nameservers=len(self.nameservers),
+            domains=len(self.domains),
+        )
         notes: List[str] = []
         domains = self._expanded_domains(notes)
         correct_db = CorrectRecordDatabase(self.ipinfo)
@@ -554,6 +660,7 @@ class URHunter:
             segment_sink=segment_sink,
             resume_entries=resume_entries,
             segment_start=segment_start,
+            trace=self.trace,
         )
         self.last_flow_stats = flow.stats
         stage1 = Stage1Result(
@@ -580,6 +687,27 @@ class URHunter:
             analysis=flow.analysis,
             source_health=self.intel.source_health(),
         )
+        # The remaining logical span markers (canonically ordered; fields
+        # match the batch emissions value-for-value).
+        self._emit(
+            "stage.end", stage=OBS_STAGE1, **_stage1_end(flow.collection)
+        )
+        self._emit(
+            "stage.start",
+            stage=OBS_STAGE2,
+            records=len(flow.collection.undelegated),
+        )
+        self._emit(
+            "stage.end",
+            stage=OBS_STAGE2,
+            **_stage2_end(flow.outcome, flow.metrics, fn_rate),
+        )
+        self._emit(
+            "stage.start",
+            stage=OBS_STAGE3,
+            suspicious=len(flow.outcome.suspicious),
+        )
+        self._emit("stage.end", stage=OBS_STAGE3, **_stage3_end(flow.analysis))
         return stage1, stage2, stage3
 
     # -- validation helper --------------------------------------------------

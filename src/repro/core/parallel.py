@@ -24,7 +24,17 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -33,7 +43,20 @@ W = TypeVar("W")
 
 @dataclass
 class Stage2Metrics:
-    """What stage 2 did: volume, dedup, caching, parallelism, timing."""
+    """What stage 2 did: volume, dedup, caching, parallelism, timing.
+
+    Implements the :class:`repro.obs.metrics.MetricsSnapshot` protocol.
+    The deterministic/timing split is load-bearing: ``to_dict()`` and
+    ``summary()`` carry only counters that are byte-identical across
+    worker counts and execution modes, while ``timing_dict()`` and
+    ``timing_summary()`` carry the wall clock, worker context, and the
+    scheduling-dependent store-cache counters.
+    """
+
+    #: MetricsSnapshot protocol identity
+    name: ClassVar[str] = "stage2-exclusion"
+    #: heading the unified renderer prints (legacy report text)
+    heading: ClassVar[str] = "stage-2 exclusion metrics:"
 
     #: candidate URs classified (including protective short-circuits)
     records: int = 0
@@ -81,6 +104,50 @@ class Stage2Metrics:
         self.condition_s[condition] = (
             self.condition_s.get(condition, 0.0) + seconds
         )
+
+    def merge(self, other: "Stage2Metrics") -> None:
+        """Fold another pass's counters into this one (shard/run merge)."""
+        self.records += other.records
+        self.protective_matches += other.protective_matches
+        self.distinct_keys += other.distinct_keys
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.workers = max(self.workers, other.workers)
+        # a merged pass is memoized only if every constituent was
+        self.memoized = self.memoized and other.memoized
+        self.wall_s += other.wall_s
+        for condition, seconds in other.condition_s.items():
+            self.attribute(condition, seconds)
+        self.pdns_cache_hits += other.pdns_cache_hits
+        self.pdns_cache_misses += other.pdns_cache_misses
+        self.ipinfo_cache_hits += other.ipinfo_cache_hits
+        self.ipinfo_cache_misses += other.ipinfo_cache_misses
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic counters only (see class docstring)."""
+        return {
+            "records": self.records,
+            "protective_matches": self.protective_matches,
+            "distinct_keys": self.distinct_keys,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "memoized": self.memoized,
+            "dedup_factor": self.dedup_factor,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+    def timing_dict(self) -> Dict[str, Any]:
+        """Wall-clock + scheduling-dependent counters — never byte-compared."""
+        return {
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "records_per_s": self.records_per_s,
+            "condition_s": dict(sorted(self.condition_s.items())),
+            "pdns_cache_hits": self.pdns_cache_hits,
+            "pdns_cache_misses": self.pdns_cache_misses,
+            "ipinfo_cache_hits": self.ipinfo_cache_hits,
+            "ipinfo_cache_misses": self.ipinfo_cache_misses,
+        }
 
     def summary(self, indent: str = "") -> str:
         """Deterministic counters only — safe for byte-compared reports.
@@ -144,10 +211,13 @@ class Stage2Executor:
     of worker count and scheduling.
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, reporter: Optional[Any] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        #: optional repro.obs.Reporter — shard dispatch goes to its
+        #: debug level instead of ad-hoc stderr prints
+        self.reporter = reporter
 
     def map_keys(
         self,
@@ -169,6 +239,11 @@ class Stage2Executor:
             list(items[index :: self.workers])
             for index in range(self.workers)
         ]
+        if self.reporter is not None:
+            self.reporter.debug(
+                f"# stage-2: dispatching {len(items):,} keys across "
+                f"{sum(1 for shard in shards if shard)} worker shards"
+            )
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [
                 pool.submit(self._run_shard, shard, fn)

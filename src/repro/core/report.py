@@ -18,6 +18,7 @@ from dataclasses import field
 from ..dns.name import Name
 from ..dns.rdata import RRType
 from ..engine.metrics import ScanMetrics
+from ..obs.metrics import MetricRegistry
 from ..pipeline.resilience import SourceHealth
 from .parallel import Stage2Metrics
 from .records import ClassifiedUR, IpVerdict, URCategory
@@ -443,12 +444,21 @@ class MeasurementReport:
             lines.append(
                 f"validation FN rate:      {self.false_negative_rate:.4f}"
             )
-        if self.scan_metrics is not None:
-            lines.append("scan engine metrics:")
-            lines.append(self.scan_metrics.summary(indent="  "))
-        if self.stage2_metrics is not None:
-            lines.append("stage-2 exclusion metrics:")
-            lines.append(self.stage2_metrics.summary(indent="  "))
+        lines.extend(self.metric_registry().render_lines(indent="  "))
         if self.is_degraded:
             lines.append(self.degraded.summary())
         return "\n".join(lines)
+
+    def metric_registry(self) -> MetricRegistry:
+        """Every attached metric holder behind the one snapshot API.
+
+        Registration order is presentation order; the rendered text is
+        byte-identical to the pre-registry bespoke blocks (enforced by
+        the streaming/batch report-identity tests).
+        """
+        registry = MetricRegistry()
+        if self.scan_metrics is not None:
+            registry.register(self.scan_metrics)
+        if self.stage2_metrics is not None:
+            registry.register(self.stage2_metrics)
+        return registry

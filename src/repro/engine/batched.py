@@ -35,6 +35,7 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dns.message import Message
 from ..net.network import NetworkError, SimulatedInternet
+from ..obs.events import STAGE1 as OBS_STAGE1
 from .api import EnginePolicy, OutcomeStatus, QueryOutcome, QueryTask
 from .breaker import CircuitBreaker, CircuitState
 from .metrics import ScanMetrics
@@ -75,6 +76,9 @@ class BatchedEngine:
             reset_interval=self.policy.circuit_reset_interval,
         )
         self._query_cache: Dict[Tuple[object, int, bool], Message] = {}
+        #: optional repro.obs.RunTrace — breaker trips are emitted as
+        #: deterministic ``breaker.trip`` events when attached
+        self.trace = None
 
     # -- QueryEngine protocol ---------------------------------------------
 
@@ -222,7 +226,17 @@ class BatchedEngine:
             # timed out: the lane is busy until the timeout elapses, but
             # the clock is NOT ticked here — other lanes fill the gap
             counters.timeouts += 1
-            breaker.record_failure(server_ip, now)
+            if breaker.record_failure(server_ip, now) and (
+                self.trace is not None
+            ):
+                # every engine-driven collection belongs to stage 1
+                self.trace.emit(
+                    "breaker.trip",
+                    stage=OBS_STAGE1,
+                    scope="nameserver",
+                    server=server_ip,
+                    phase=task.stage,
+                )
             latency.record(now - sent_at + policy.timeout)
             lane_free_at = now + policy.timeout
             if lane.attempts > policy.retries:

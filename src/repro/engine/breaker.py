@@ -68,13 +68,25 @@ class CircuitBreaker:
         circuit.consecutive_failures = 0
         circuit.state = CircuitState.CLOSED
 
-    def record_failure(self, server_ip: str, now: float) -> None:
+    def record_failure(self, server_ip: str, now: float) -> bool:
+        """Record one failure; ``True`` when it tripped the circuit.
+
+        The return value marks the CLOSED/HALF_OPEN → OPEN transition,
+        so callers can emit exactly one ``breaker.trip`` trace event per
+        trip instead of one per failure.
+        """
         circuit = self._circuit(server_ip)
         circuit.consecutive_failures += 1
         if circuit.state is CircuitState.HALF_OPEN:
             # the probe failed: straight back to OPEN, timer restarted
             circuit.state = CircuitState.OPEN
             circuit.opened_at = now
-        elif circuit.consecutive_failures >= self.failure_threshold:
+            return True
+        if (
+            circuit.state is CircuitState.CLOSED
+            and circuit.consecutive_failures >= self.failure_threshold
+        ):
             circuit.state = CircuitState.OPEN
             circuit.opened_at = now
+            return True
+        return False

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
 
 #: histogram bucket upper bounds in seconds (last bucket is +inf)
 DEFAULT_BUCKETS = (
@@ -52,7 +52,20 @@ class LatencyHistogram:
         self.counts[bisect_left(self.bounds, seconds)] += 1
 
     def percentile(self, pct: float) -> float:
-        """The upper bound of the bucket holding the ``pct`` percentile."""
+        """The upper bound of the bucket holding the ``pct`` percentile.
+
+        Percentiles are **bucket-upper-bound estimates**: the true value
+        lies somewhere at or below the returned bound (a value exactly
+        equal to a bound is counted in the bucket whose upper bound it
+        is).  Edge semantics:
+
+        * an empty histogram returns ``0.0`` for every ``pct``;
+        * ``pct=0`` returns the bound of the smallest **non-empty**
+          bucket (the minimum observation's bucket), never the bound of
+          an empty leading bucket;
+        * observations above the largest bound live in the overflow
+          bucket, whose estimate is ``inf``.
+        """
         if not 0 <= pct <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {pct}")
         if self.total == 0:
@@ -61,7 +74,9 @@ class LatencyHistogram:
         running = 0
         for index, count in enumerate(self.counts):
             running += count
-            if running >= threshold:
+            # ``running > 0`` keeps pct=0 (threshold 0) off empty
+            # leading buckets: the answer is the first occupied bucket
+            if running > 0 and running >= threshold:
                 if index < len(self.bounds):
                     return self.bounds[index]
                 return float("inf")
@@ -111,7 +126,18 @@ class StageCounters:
 
 @dataclass
 class ScanMetrics:
-    """Per-stage counters plus a global latency histogram."""
+    """Per-stage counters plus a global latency histogram.
+
+    Implements the :class:`repro.obs.metrics.MetricsSnapshot` protocol:
+    ``to_dict()`` exposes only deterministic counters (latency is over
+    *virtual* seconds, so it is deterministic too) and ``summary()``
+    renders the block the byte-compared report embeds.
+    """
+
+    #: MetricsSnapshot protocol identity
+    name: ClassVar[str] = "scan-engine"
+    #: heading the unified renderer prints (legacy report text)
+    heading: ClassVar[str] = "scan engine metrics:"
 
     stages: Dict[str, StageCounters] = field(default_factory=dict)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -162,6 +188,46 @@ class ScanMetrics:
         for name, counters in other.stages.items():
             self.stage(name).merge(counters)
         self.latency.merge(other.latency)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic counters for the consolidated metrics document.
+
+        Latency percentiles are bucket-upper-bound estimates (see
+        :meth:`LatencyHistogram.percentile`); the overflow bucket's
+        ``inf`` estimate serializes as ``None``.
+        """
+        def _finite(value: float) -> Optional[float]:
+            return None if value == float("inf") else value
+
+        return {
+            "queries": self.queries,
+            "responses": self.responses,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "skipped": self.skipped,
+            "loss_rate": self.loss_rate,
+            "stages": {
+                name: {
+                    "queries": counters.queries,
+                    "responses": counters.responses,
+                    "timeouts": counters.timeouts,
+                    "retries": counters.retries,
+                    "giveups": counters.giveups,
+                    "skipped": counters.skipped,
+                    "rate_limit_wait": counters.rate_limit_wait,
+                }
+                for name, counters in sorted(self.stages.items())
+            },
+            "latency": {
+                "total": self.latency.total,
+                "mean": self.latency.mean,
+                "p50": _finite(self.latency.percentile(50)),
+                "p90": _finite(self.latency.percentile(90)),
+                "p99": _finite(self.latency.percentile(99)),
+                "estimate": "bucket-upper-bound",
+            },
+        }
 
     # -- presentation ------------------------------------------------------
 

@@ -38,7 +38,13 @@ from ..core.report import ReportAccumulator
 from ..core.suspicion import SuspicionFilter, SuspicionOutcome
 from ..engine.api import QueryTask
 from .channel import Channel, ChannelError
-from .graph import ChannelStats, FlowGraph, FlowStalled, FlowStats
+from .graph import (
+    ChannelStats,
+    FlowGraph,
+    FlowMetrics,
+    FlowStalled,
+    FlowStats,
+)
 from .nodes import (
     AnalysisNode,
     CollectorNode,
@@ -55,6 +61,7 @@ __all__ = [
     "ChannelStats",
     "CollectorNode",
     "FlowGraph",
+    "FlowMetrics",
     "FlowResult",
     "FlowStalled",
     "FlowStats",
@@ -91,6 +98,7 @@ def run_pipeline_flow(
     segment_sink: Optional[Callable[[int, List[ClassifiedUR]], None]] = None,
     resume_entries: Sequence[ClassifiedUR] = (),
     segment_start: int = 0,
+    trace=None,
 ) -> FlowResult:
     """Assemble and pump the four-node pipeline graph.
 
@@ -116,7 +124,9 @@ def run_pipeline_flow(
     analyze = AnalysisNode(analyzer, classified, reported)
     sink = ReportSink(reported)
     graph = FlowGraph(
-        [source, exclude, analyze, sink], [records, classified, reported]
+        [source, exclude, analyze, sink],
+        [records, classified, reported],
+        trace=trace,
     )
     graph.run()
     assert source.result is not None and analyze.analysis is not None

@@ -12,8 +12,8 @@ chunk evaluation, exactly as in batch mode.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, Sequence
 
 from .channel import Channel
 from .nodes import StageNode
@@ -53,24 +53,94 @@ class FlowStats:
             for stats in self.channels
         )
 
+    def to_metrics(self) -> "FlowMetrics":
+        """The mutable :class:`MetricsSnapshot` view of these stats."""
+        return FlowMetrics.from_stats(self)
+
+
+@dataclass
+class FlowMetrics:
+    """Channel occupancy behind the one metrics protocol.
+
+    Implements :class:`repro.obs.metrics.MetricsSnapshot`.  Occupancy
+    depends on the configured channel depth (and exists only in
+    streaming runs), so this snapshot belongs to the metrics document's
+    **timing** section — never to a byte-compared surface.
+    """
+
+    name: ClassVar[str] = "flow-channels"
+    heading: ClassVar[str] = "flow channels:"
+
+    channels: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_stats(cls, stats: FlowStats) -> "FlowMetrics":
+        return cls(
+            channels={
+                channel.name: {
+                    "depth": channel.depth,
+                    "max_occupancy": channel.max_occupancy,
+                    "total": channel.total,
+                }
+                for channel in stats.channels
+            }
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: dict(entry) for name, entry in self.channels.items()}
+
+    def merge(self, other: "FlowMetrics") -> None:
+        for name, entry in other.channels.items():
+            existing = self.channels.get(name)
+            if existing is None:
+                self.channels[name] = dict(entry)
+            else:
+                existing["depth"] = max(existing["depth"], entry["depth"])
+                existing["max_occupancy"] = max(
+                    existing["max_occupancy"], entry["max_occupancy"]
+                )
+                existing["total"] += entry["total"]
+
+    def summary(self, indent: str = "") -> str:
+        lines = [
+            f"{indent}{name}: {entry['total']} items, "
+            f"peak {entry['max_occupancy']}/{entry['depth']}"
+            for name, entry in self.channels.items()
+        ]
+        if not lines:
+            lines = [f"{indent}(no channels)"]
+        return "\n".join(lines)
+
 
 class FlowGraph:
     """A linear pipeline of nodes connected by bounded channels."""
 
     def __init__(
-        self, nodes: Sequence[StageNode], channels: Sequence[Channel]
+        self,
+        nodes: Sequence[StageNode],
+        channels: Sequence[Channel],
+        trace: Optional[Any] = None,
     ):
         if not nodes:
             raise ValueError("a flow graph needs at least one node")
         #: upstream → downstream order
         self.nodes = list(nodes)
         self.channels = list(channels)
+        #: optional repro.obs.RunTrace — stall detection and channel
+        #: occupancy report through it (timing section: occupancy is
+        #: depth-dependent and stream-only)
+        self.trace = trace
 
     def run(self) -> None:
         """Pump until every node is done."""
         while True:
             remaining = [node for node in self.nodes if not node.done]
             if not remaining:
+                if self.trace is not None:
+                    self.trace.emit_timing(
+                        "flow.channels",
+                        channels=self.stats().to_metrics().to_dict(),
+                    )
                 return
             progress = False
             # downstream-first: drain before refilling
@@ -79,6 +149,8 @@ class FlowGraph:
                     progress = True
             if not progress:
                 stuck = ", ".join(node.name for node in remaining)
+                if self.trace is not None:
+                    self.trace.emit_timing("flow.stalled", stuck=stuck)
                 raise FlowStalled(f"no node can progress (stuck: {stuck})")
 
     def stats(self) -> FlowStats:

@@ -215,6 +215,9 @@ class CollectorNode(StageNode):
             self._flush()
         if self._exhausted and not self._pending and not self._closed:
             assert not self._reorder, "engine left a gap in the task stream"
+            # same emission point as the batch path: the UR collection
+            # phase is complete (trips during the scan already emitted)
+            self.collector.emit_phase("ur")
             result = CollectionResult(
                 undelegated=self.records,
                 queries_sent=self._attempts,

@@ -29,7 +29,12 @@ from .errors import (
     StageFailed,
 )
 from .faults import FaultPlan, FlakyIPInfo, FlakyPassiveDNS, FlakyVendor
-from .resilience import SourceGuard, SourceHealth, merge_health
+from .resilience import (
+    SourceGuard,
+    SourceHealth,
+    SourcesSnapshot,
+    merge_health,
+)
 
 _LAZY_RUNNER = {
     "PipelineRunner",
@@ -75,6 +80,7 @@ __all__ = [
     "SourceHealth",
     "SourceRateLimited",
     "SourceTimeout",
+    "SourcesSnapshot",
     "StageFailed",
     "config_fingerprint",
     "merge_health",

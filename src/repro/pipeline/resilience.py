@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, ClassVar, Dict, Optional, Tuple
 
 from ..engine.breaker import CircuitBreaker, CircuitState
 from ..engine.ratelimit import RateLimiter
@@ -77,6 +77,20 @@ class SourceHealth:
         # the later snapshot wins the state field
         self.state = other.state
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic ledger counters (backoff is virtual seconds)."""
+        return {
+            "calls": self.calls,
+            "successes": self.successes,
+            "failures": self.failures,
+            "retries": self.retries,
+            "rate_limited": self.rate_limited,
+            "skipped": self.skipped,
+            "backoff_wait": self.backoff_wait,
+            "state": self.state,
+            "degraded": self.degraded,
+        }
+
     def describe(self) -> str:
         parts = [
             f"calls={self.calls}",
@@ -90,6 +104,60 @@ class SourceHealth:
         if self.state != CircuitState.CLOSED.value:
             parts.append(f"circuit={self.state}")
         return " ".join(parts)
+
+
+@dataclass
+class SourcesSnapshot:
+    """The guard's health ledgers behind the one metrics protocol.
+
+    Implements :class:`repro.obs.metrics.MetricsSnapshot` so source
+    degradation reports through the same :class:`MetricRegistry` as the
+    engine and stage-2 blocks.  Obtained from
+    :meth:`SourceGuard.metrics_snapshot`.
+    """
+
+    name: ClassVar[str] = "sources"
+    heading: ClassVar[str] = "source health:"
+
+    sources: Dict[str, SourceHealth] = field(default_factory=dict)
+    degraded_events: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "degraded_events": self.degraded_events,
+            "sources": {
+                source: ledger.to_dict()
+                for source, ledger in sorted(self.sources.items())
+            },
+        }
+
+    def merge(self, other: "SourcesSnapshot") -> None:
+        for source, ledger in other.sources.items():
+            existing = self.sources.get(source)
+            if existing is None:
+                self.sources[source] = SourceHealth(
+                    name=ledger.name,
+                    calls=ledger.calls,
+                    successes=ledger.successes,
+                    failures=ledger.failures,
+                    retries=ledger.retries,
+                    rate_limited=ledger.rate_limited,
+                    skipped=ledger.skipped,
+                    backoff_wait=ledger.backoff_wait,
+                    state=ledger.state,
+                )
+            else:
+                existing.merge(ledger)
+        self.degraded_events += other.degraded_events
+
+    def summary(self, indent: str = "") -> str:
+        lines = [
+            f"{indent}[{source}] {ledger.describe()}"
+            for source, ledger in sorted(self.sources.items())
+        ]
+        if not lines:
+            lines = [f"{indent}(no guarded calls)"]
+        return "\n".join(lines)
 
 
 class SourceGuard:
@@ -144,6 +212,34 @@ class SourceGuard:
         # stage-2 workers share one guard across threads; the lock keeps
         # the ledgers, breaker clock, and limiter state consistent
         self._lock = threading.Lock()
+        #: optional repro.obs.RunTrace + the logical stage tag its
+        #: events carry; bound by the hunter before each guarded stage
+        self.trace = None
+        self.trace_stage: Optional[str] = None
+
+    def bind_trace(self, trace: Any, stage: str) -> None:
+        """Attach an event bus; degradation transitions and breaker
+        trips are emitted as deterministic events tagged ``stage``.
+
+        Emission order is deterministic because every degradation
+        producer runs the record-ordered single-threaded path: fault
+        injection makes the sources non-deterministic, which disables
+        the memoized (worker-parallel) stage-2 fast path.
+        """
+        self.trace = trace
+        self.trace_stage = stage
+
+    def _emit(self, name: str, **fields: Any) -> None:
+        if self.trace is not None:
+            self.trace.emit(name, stage=self.trace_stage, **fields)
+
+    def _note_degraded(
+        self, source: str, ledger: SourceHealth, was_degraded: bool, reason: str
+    ) -> None:
+        """Count one degradation event; emit on the first transition."""
+        self.degraded_events += 1
+        if not was_degraded and ledger.degraded:
+            self._emit("source.degraded", source=source, reason=reason)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -169,6 +265,12 @@ class SourceGuard:
                 state=self.breaker.state(source).value,
             )
         return out
+
+    def metrics_snapshot(self) -> SourcesSnapshot:
+        """The ledgers as one :class:`MetricsSnapshot` (see obs)."""
+        return SourcesSnapshot(
+            sources=self.snapshot(), degraded_events=self.degraded_events
+        )
 
     @property
     def degraded_sources(self) -> Tuple[str, ...]:
@@ -201,13 +303,18 @@ class SourceGuard:
             self._clock += 1.0
             ledger = self.health(source)
             ledger.calls += 1
+            was_degraded = ledger.degraded
             if not self.breaker.allow(source, self._clock):
                 ledger.skipped += 1
-                self.degraded_events += 1
+                self._note_degraded(
+                    source, ledger, was_degraded, "circuit-open"
+                )
                 return False, None
             if self.limiter.ready_at(source, self._clock) > self._clock:
                 ledger.skipped += 1
-                self.degraded_events += 1
+                self._note_degraded(
+                    source, ledger, was_degraded, "rate-limit-cooldown"
+                )
                 return False, None
             attempt = 0
             while True:
@@ -216,7 +323,9 @@ class SourceGuard:
                 except SourceError as error:
                     if isinstance(error, SourceRateLimited):
                         ledger.rate_limited += 1
-                        self.degraded_events += 1
+                        self._note_degraded(
+                            source, ledger, was_degraded, "rate-limited"
+                        )
                         self.limiter.take(source, self._clock)
                     attempt += 1
                     if attempt <= self.retries:
@@ -226,8 +335,13 @@ class SourceGuard:
                         )
                         continue
                     ledger.failures += 1
-                    self.degraded_events += 1
-                    self.breaker.record_failure(source, self._clock)
+                    self._note_degraded(
+                        source, ledger, was_degraded, "retries-exhausted"
+                    )
+                    if self.breaker.record_failure(source, self._clock):
+                        self._emit(
+                            "breaker.trip", scope="source", source=source
+                        )
                     return False, None
                 self.breaker.record_success(source)
                 ledger.successes += 1

@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..core.hunter import Stage1Result, Stage2Result, Stage3Result, URHunter
 from ..core.records import ClassifiedUR
 from ..core.report import MeasurementReport
+from ..obs.events import run_end_fields
 from .checkpoint import (
     CheckpointStore,
     config_fingerprint,
@@ -120,6 +121,19 @@ class PipelineRunner:
             extra["scenario"] = self.scenario_fingerprint
         return config_fingerprint(self.hunter.config, extra=extra)
 
+    def _emit(self, name: str, stage: Optional[str] = None, **fields) -> None:
+        """Emit on the hunter's event bus, if one is attached.
+
+        The runner owns the run-level events (``run.start``/``run.end``/
+        ``run.stopped``/``run.abort``) plus resume provenance
+        (``checkpoint.load``/``stage.resumed``/``segment.replay``) and
+        artifact seals (``checkpoint.save``/``segment.save``); the hunter
+        owns the stage spans.
+        """
+        trace = self.hunter.trace
+        if trace is not None:
+            trace.emit(name, stage=stage, **fields)
+
     @staticmethod
     def _maybe_crash(stage: str) -> None:
         """Crash hook for kill-and-resume testing (see :data:`CRASH_ENV`)."""
@@ -149,10 +163,12 @@ class PipelineRunner:
         except StageFailed as error:
             if self.store is not None:
                 self.store.record_failure(stage, error)
+            self._emit("run.abort", stage=stage, error=type(error).__name__)
             raise
         except Exception as error:
             if self.store is not None:
                 self.store.record_failure(stage, error)
+            self._emit("run.abort", stage=stage, error=type(error).__name__)
             raise StageFailed(stage, error) from error
 
     # -- the run -----------------------------------------------------------
@@ -190,6 +206,7 @@ class PipelineRunner:
             )
         if self.store is not None:
             self.store.prepare(self._fingerprint(), resume=self.resume)
+        self._emit("run.start", fingerprint=self._fingerprint())
         if streaming and not (
             self.resume
             and self.store is not None
@@ -211,19 +228,27 @@ class PipelineRunner:
         # -- stage 1: collection ------------------------------------------
         stage1: Optional[Stage1Result] = None
         if trust_checkpoints and self.store.has(STAGE1):
+            self._emit("checkpoint.load", stage=STAGE1)
             stage1 = decode_stage1(
                 self.store.load(STAGE1), self.hunter.ipinfo
             )
             # stage 2 reads the profiles through the hunter
             self.hunter.correct_db = stage1.collection.correct_db
             resumed.append(STAGE1)
+            self._emit(
+                "stage.resumed",
+                stage=STAGE1,
+                records=len(stage1.collection.undelegated),
+            )
         else:
             trust_checkpoints = False
             stage1 = self._run_live(STAGE1, self.hunter.stage1_collect)
             executed.append(STAGE1)
             if self.store is not None:
                 self.store.save(STAGE1, encode_stage1(stage1))
+                self._emit("checkpoint.save", stage=STAGE1)
         if stop_after == STAGE1:
+            self._emit("run.stopped", after=STAGE1)
             return PipelineResult(
                 report=None,
                 resumed=tuple(resumed),
@@ -237,8 +262,18 @@ class PipelineRunner:
             # a checkpoint written without validation cannot satisfy a
             # validating resume — fall through to a live re-run
             if payload.get("validated", False) or not validate:
+                self._emit(
+                    "checkpoint.load",
+                    stage=STAGE2,
+                    validated=bool(payload.get("validated", False)),
+                )
                 stage2 = decode_stage2(payload)
                 resumed.append(STAGE2)
+                self._emit(
+                    "stage.resumed",
+                    stage=STAGE2,
+                    records=len(stage2.outcome.classified),
+                )
         if stage2 is None:
             trust_checkpoints = False
             stage2 = self._run_live(
@@ -249,7 +284,11 @@ class PipelineRunner:
                 self.store.save(
                     STAGE2, encode_stage2(stage2, validated=validate)
                 )
+                self._emit(
+                    "checkpoint.save", stage=STAGE2, validated=validate
+                )
         if stop_after == STAGE2:
+            self._emit("run.stopped", after=STAGE2)
             return PipelineResult(
                 report=None,
                 resumed=tuple(resumed),
@@ -259,8 +298,14 @@ class PipelineRunner:
         # -- stage 3: analysis --------------------------------------------
         stage3: Optional[Stage3Result] = None
         if trust_checkpoints and self.store.has(STAGE3):
+            self._emit("checkpoint.load", stage=STAGE3)
             stage3 = decode_stage3(self.store.load(STAGE3))
             resumed.append(STAGE3)
+            self._emit(
+                "stage.resumed",
+                stage=STAGE3,
+                refined=len(stage3.analysis.classified),
+            )
         else:
             stage3 = self._run_live(
                 STAGE3, self.hunter.stage3_analyze, stage2
@@ -268,11 +313,18 @@ class PipelineRunner:
             executed.append(STAGE3)
             if self.store is not None:
                 self.store.save(STAGE3, encode_stage3(stage3))
+                self._emit("checkpoint.save", stage=STAGE3)
 
         # -- report (cheap, deterministic; never checkpointed) -------------
         report = self.hunter.build_report(stage1, stage2, stage3)
         if self.store is not None:
             self.store.clear_failure()
+        self._emit(
+            "run.end",
+            resumed=list(resumed),
+            executed=list(executed),
+            **run_end_fields(report),
+        )
         return PipelineResult(
             report=report,
             resumed=tuple(resumed),
@@ -302,10 +354,22 @@ class PipelineRunner:
                 segment_start += 1
             if segment_start:
                 resumed.append(f"segments:{segment_start}")
+                self._emit(
+                    "segment.replay",
+                    stage=STAGE2,
+                    segments=segment_start,
+                    records=len(resume_entries),
+                )
         segment_sink = None
         if store is not None and self.checkpoint_every > 0:
             def segment_sink(index: int, entries: list) -> None:
                 store.save_segment(index, encode_segment(index, entries))
+                self._emit(
+                    "segment.save",
+                    stage=STAGE2,
+                    index=index,
+                    records=len(entries),
+                )
                 self._maybe_crash_segment(index)
         self._maybe_crash(STAGE1)
         if store is not None:
@@ -323,20 +387,35 @@ class PipelineRunner:
         except StageFailed as error:
             if store is not None:
                 store.record_failure(error.stage, error)
+            self._emit(
+                "run.abort", stage=error.stage, error=type(error).__name__
+            )
             raise
         except Exception as error:
             if store is not None:
                 store.record_failure(STREAM_STAGE, error)
+            self._emit(
+                "run.abort", stage=STREAM_STAGE, error=type(error).__name__
+            )
             raise StageFailed(STREAM_STAGE, error) from error
         executed = (STAGE1, STAGE2, STAGE3)
         if store is not None:
             store.save(STAGE1, encode_stage1(stage1))
+            self._emit("checkpoint.save", stage=STAGE1)
             store.save(STAGE2, encode_stage2(stage2, validated=validate))
+            self._emit("checkpoint.save", stage=STAGE2, validated=validate)
             store.save(STAGE3, encode_stage3(stage3))
+            self._emit("checkpoint.save", stage=STAGE3)
             store.clear_segments()
         report = self.hunter.build_report(stage1, stage2, stage3)
         if store is not None:
             store.clear_failure()
+        self._emit(
+            "run.end",
+            resumed=list(resumed),
+            executed=list(executed),
+            **run_end_fields(report),
+        )
         return PipelineResult(
             report=report,
             resumed=tuple(resumed),

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -137,3 +139,69 @@ class TestCommands:
         assert main(BASE + ["--mx", "table1"]) == 0
         # The MX sweep sends 50% more queries; just assert it ran.
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_trace_and_metrics_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            BASE
+            + [
+                "--trace-out",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+                "run",
+            ]
+        )
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line.strip()
+        ]
+        assert lines[0]["event"] == "trace.header"
+        assert any(line["event"] == "run.end" for line in lines)
+        document = json.loads(metrics.read_text())
+        assert set(document) == {"format", "deterministic", "timing"}
+        # stdout is unchanged by the artifact flags
+        assert "unique_urs" in capsys.readouterr().out
+
+    def test_quiet_hides_diagnostics_keeps_stdout(self, capsys):
+        assert main(BASE + ["-q", "run"]) == 0
+        captured = capsys.readouterr()
+        assert "# scenario" not in captured.err
+        assert "# stage-2 perf" not in captured.err
+        assert "unique_urs" in captured.out
+
+    def test_quiet_keeps_degradation_warning(self, capsys):
+        code = main(BASE + ["-q", "--pdns-fault-rate", "0.6", "run"])
+        assert code == 0
+        assert "warning: degraded" in capsys.readouterr().err
+
+    def test_verbose_shows_scenario_banner(self, capsys):
+        assert main(BASE + ["-v", "run"]) == 0
+        assert "# scenario" in capsys.readouterr().err
+
+    def test_quiet_and_verbose_conflict(self, capsys):
+        assert main(BASE + ["-q", "-v", "run"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(BASE + ["--trace-out", str(trace), "-q", "run"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        for marker in ("stage1-collect", "stage2-exclude", "run.end"):
+            assert marker in out
+
+    def test_trace_summarize_missing_file(self, capsys):
+        assert main(["trace", "summarize", "/nonexistent/t.jsonl"]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_bad_usage(self, capsys):
+        assert main(["trace"]) == 2
+        assert main(["trace", "frobnicate", "x"]) == 2
+        assert "usage: repro trace summarize" in capsys.readouterr().err

@@ -38,6 +38,33 @@ class TestLatencyHistogram:
     def test_out_of_range_percentile_rejected(self):
         with pytest.raises(ValueError):
             LatencyHistogram().percentile(101)
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(-1)
+
+    def test_percentile_zero_skips_empty_leading_buckets(self):
+        """pct=0 means "the minimum observation's bucket" — it must not
+        report the bound of an empty leading bucket."""
+        histogram = LatencyHistogram()
+        histogram.record(0.2)  # lands in the 0.25 bucket
+        assert histogram.percentile(0) == 0.25
+        assert histogram.percentile(100) == 0.25
+
+    def test_percentile_zero_on_empty_histogram(self):
+        assert LatencyHistogram().percentile(0) == 0.0
+
+    def test_value_on_bound_lands_in_that_bucket(self):
+        """A value exactly equal to a bucket bound belongs to the bucket
+        whose upper bound it is (bisect_left), so the estimate is
+        exact for on-bound observations."""
+        histogram = LatencyHistogram()
+        histogram.record(0.025)
+        assert histogram.percentile(50) == 0.025
+        assert histogram.percentile(0) == 0.025
+
+    def test_percentile_zero_with_only_overflow(self):
+        histogram = LatencyHistogram()
+        histogram.record(99.0)
+        assert histogram.percentile(0) == float("inf")
 
     def test_merge(self):
         left, right = LatencyHistogram(), LatencyHistogram()

@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.core import URHunter
+from repro.obs import RunTrace, build_metrics_document
 from repro.pipeline import CheckpointStore, PipelineRunner, STAGE_ORDER
 from repro.pipeline.checkpoint import (
     encode_segment,
@@ -80,3 +81,53 @@ class TestNoTimingLeakage:
         stage2 = hunter.stage2_exclude(stage1, validate=True)
         blob = json.dumps(encode_stage2(stage2, validated=True))
         assert "wall_s" not in blob and "condition_s" not in blob
+
+
+class TestTraceAndMetricsDocLeakage:
+    """The observability layer adds two more byte-compared surfaces:
+    the trace's deterministic section and the metrics document's
+    ``deterministic`` block.  Wall clock belongs exclusively to the
+    trace's timing section and the document's ``timing`` block."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        hunter = URHunter.from_world(make_world())
+        trace = RunTrace()
+        hunter.attach_trace(trace)
+        report = hunter.run()
+        return trace, report
+
+    def test_deterministic_trace_has_no_wall_clock(self, traced_run):
+        trace, _ = traced_run
+        blob = "\n".join(trace.deterministic_lines())
+        for token in FORBIDDEN:
+            assert token not in blob, f"trace leaks {token}"
+
+    def test_metrics_document_confines_timing(self, traced_run):
+        _, report = traced_run
+        document = build_metrics_document(
+            report, execution="batch", stage2_workers=1, channel_depth=64
+        )
+        deterministic = json.dumps(document["deterministic"])
+        for token in FORBIDDEN:
+            assert token not in deterministic, f"metrics leak {token}"
+        # the timing block is where the wall clock *must* appear
+        assert "wall_s" in json.dumps(document["timing"])
+
+    def test_flow_occupancy_is_a_timing_event(self):
+        """Channel occupancy depends on channel depth, so the streaming
+        flow must report it through emit_timing, never emit."""
+        from repro.core import HunterConfig
+
+        hunter = URHunter.from_world(
+            make_world(), HunterConfig(execution="stream", channel_depth=4)
+        )
+        trace = RunTrace()
+        hunter.attach_trace(trace)
+        hunter.run()
+        deterministic = "\n".join(trace.deterministic_lines())
+        assert "flow.channels" not in deterministic
+        timing_names = [
+            event["event"] for event in trace.timing_events()
+        ]
+        assert "flow.channels" in timing_names
