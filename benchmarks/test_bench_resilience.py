@@ -1,0 +1,103 @@
+"""Benchmark: hedging + AIMD under a tail-latency storm.
+
+Replays the bundled ``tail-latency-storm`` chaos scenario twice — once
+with the resilience layer disabled, once with hedged retries and AIMD
+send credit enabled — and records the **virtual** wall clock of each
+run into ``BENCH_resilience.json`` at the repo root.  Virtual time is
+the honest figure here: the storm's cost is timeout parks on the
+simulated clock, which hedging converts into short hedge parks.  The
+CI gate asserts the resilient run finishes at least 1.5x faster in
+virtual time while producing the same verdicts.
+"""
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+from repro.core import HunterConfig, URHunter
+from repro.resilience.scenario import apply_scenario, load_scenario
+from repro.scenario import build_world, small_config
+
+from .conftest import banner
+
+SEED = 7
+SCENARIO = "tail-latency-storm"
+#: the acceptance floor: hedging+AIMD must cut virtual wall clock 1.5x
+SPEEDUP_FLOOR = 1.5
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+
+def _measure(resilient: bool):
+    """One stormy run; returns (report, virtual_s, wall_s, resilience)."""
+    world = build_world(small_config(seed=SEED))
+    knobs = dict(hedge_delay=0.25, aimd=True) if resilient else {}
+    hunter = URHunter.from_world(world, HunterConfig(**knobs))
+    apply_scenario(load_scenario(SCENARIO), world, hunter)
+    virtual_start = world.network.now
+    start = time.perf_counter()
+    report = hunter.run()
+    wall = time.perf_counter() - start
+    virtual = world.network.now - virtual_start
+    return report, virtual, wall, report.resilience_metrics
+
+
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def test_resilience_speedup_under_storm():
+    banner("resilience: hedging + AIMD vs bare retries (tail-latency storm)")
+    base_report, base_virtual, base_wall, _ = _measure(resilient=False)
+    res_report, res_virtual, res_wall, metrics = _measure(resilient=True)
+    # same storm: hedged retries land inside loss windows the bare
+    # engine gives up on, so the resilient run recovers at least as
+    # many records — never fewer
+    assert len(res_report.classified) >= len(base_report.classified)
+    assert metrics is not None and metrics.hedges_fired > 0
+    speedup = base_virtual / res_virtual if res_virtual > 0 else 0.0
+    print(
+        f"  disabled  virtual {base_virtual:10.1f}s  "
+        f"wall {base_wall * 1000:8.1f}ms"
+    )
+    print(
+        f"  resilient virtual {res_virtual:10.1f}s  "
+        f"wall {res_wall * 1000:8.1f}ms  "
+        f"hedges fired/won/wasted "
+        f"{metrics.hedges_fired}/{metrics.hedges_won}/{metrics.hedges_wasted}"
+        f"  aimd cuts {metrics.aimd_cuts}"
+    )
+    payload = {
+        "timestamp": time.time(),
+        "git_rev": _git_rev(),
+        "scenario": SCENARIO,
+        "seed": SEED,
+        "baseline_virtual_s": round(base_virtual, 3),
+        "resilient_virtual_s": round(res_virtual, 3),
+        "baseline_wall_s": round(base_wall, 4),
+        "resilient_wall_s": round(res_wall, 4),
+        "virtual_speedup": round(speedup, 3),
+        "hedges_fired": metrics.hedges_fired,
+        "hedges_won": metrics.hedges_won,
+        "hedges_wasted": metrics.hedges_wasted,
+        "aimd_cuts": metrics.aimd_cuts,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    print(
+        f"\nwrote {OUTPUT.name}: virtual speedup {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+    assert speedup >= SPEEDUP_FLOOR

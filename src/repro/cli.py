@@ -9,6 +9,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``casestudies``— the §5.3 case studies;
 * ``defenses``   — score reputation vs direct-resolution monitoring;
 * ``validate``   — the §4.2 zero-false-negative check;
+* ``chaos``      — replay chaos scenarios through the robustness
+  invariant checker (all bundled scripts, or one via
+  ``--chaos-script``);
 * ``trace summarize FILE`` — render a ``--trace-out`` JSONL as a
   per-stage span tree with event counters.
 
@@ -18,7 +21,11 @@ Shared options: ``--seed``, ``--scale {small,default,paper}``,
 Resilience options: ``--checkpoint-dir`` writes per-stage JSON
 checkpoints, ``--resume`` continues a killed run from the last completed
 stage, and the ``--*-fault-rate`` knobs inject seeded data-source faults
-for chaos testing.
+for chaos testing.  ``--run-deadline``/``--stage-deadline`` bound the
+run in virtual seconds (exhausted budgets shed remaining queries into
+the loss ledger), ``--hedge-delay`` turns the first retry into a fast
+hedge, ``--aimd`` adapts send rate to timeout signals, and
+``--chaos-script`` applies a declarative fault scenario before the run.
 
 Observability options: ``--trace-out PATH`` streams the run's event bus
 (:mod:`repro.obs`) to a JSONL file, ``--metrics-out PATH`` writes the
@@ -201,12 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
     execution.add_argument(
         "--checkpoint-every",
         type=int,
-        default=0,
+        default=None,
         metavar="N",
         help=(
             "with --execution stream and --checkpoint-dir: persist an "
             "incremental segment every N classified records "
-            "(default 0, stage checkpoints only)"
+            "(omit for stage checkpoints only; N must be >= 1)"
         ),
     )
     stage2 = parser.add_argument_group(
@@ -274,6 +281,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="RNG seed for the injected data-source faults (default 0)",
     )
+    resilience.add_argument(
+        "--run-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "virtual-seconds budget for the whole run; once exhausted, "
+            "remaining queries are shed (recorded, never silently "
+            "dropped; omit for no deadline)"
+        ),
+    )
+    resilience.add_argument(
+        "--stage-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "virtual-seconds budget per pipeline phase "
+            "(omit for no deadline)"
+        ),
+    )
+    resilience.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "after a first failed attempt, hedge the retry after this "
+            "many virtual seconds instead of a full timeout+backoff "
+            "(must be below --timeout; omit to disable hedging)"
+        ),
+    )
+    resilience.add_argument(
+        "--aimd",
+        action="store_true",
+        help=(
+            "adapt per-server/per-provider send rate on timeout signals "
+            "(additive recovery, multiplicative cut; no-op on healthy "
+            "runs)"
+        ),
+    )
+    resilience.add_argument(
+        "--chaos-script",
+        metavar="NAME|PATH",
+        default=None,
+        help=(
+            "apply a chaos scenario before the run: a bundled name "
+            "(see the 'chaos' command) or a JSON script path"
+        ),
+    )
     observability = parser.add_argument_group(
         "observability", "trace/metrics artifacts and stderr verbosity"
     )
@@ -318,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
             "casestudies",
             "defenses",
             "validate",
+            "chaos",
         ),
         help="what to produce",
     )
@@ -340,6 +398,10 @@ def _hunter_config(args: argparse.Namespace) -> HunterConfig:
         stage2_memoize=not args.no_stage2_memoize,
         execution=args.execution,
         channel_depth=args.channel_depth,
+        run_deadline=args.run_deadline or 0.0,
+        stage_deadline=args.stage_deadline or 0.0,
+        hedge_delay=args.hedge_delay or 0.0,
+        aimd=args.aimd,
     )
     if args.mx:
         config.query_types = (RRType.A, RRType.TXT, RRType.MX)
@@ -354,7 +416,7 @@ def _scenario_fingerprint(args: argparse.Namespace) -> str:
         f"post={args.post_disclosure},mx={args.mx},"
         f"loss={args.loss_rate},intel={args.intel_fault_rate},"
         f"pdns={args.pdns_fault_rate},ipinfo={args.ipinfo_fault_rate},"
-        f"fseed={args.fault_seed}"
+        f"fseed={args.fault_seed},chaos={args.chaos_script}"
     )
 
 
@@ -442,6 +504,40 @@ def _write_metrics(
     )
 
 
+def _chaos_command(args: argparse.Namespace, reporter: Reporter) -> int:
+    """Handle ``repro chaos``: replay scenarios through the invariant
+    checker (small worlds, the full batch/stream matrix)."""
+    from .resilience.invariants import (
+        InvariantViolation,
+        check_clean_baseline,
+        check_scenario,
+    )
+    from .resilience.scenario import (
+        BUNDLED_SCENARIOS,
+        ScenarioError,
+        load_scenario,
+    )
+
+    if args.chaos_script:
+        try:
+            scripts = [load_scenario(args.chaos_script)]
+        except ScenarioError as error:
+            reporter.error(f"error: {error}")
+            return EXIT_USAGE
+    else:
+        scripts = list(BUNDLED_SCENARIOS)
+    try:
+        check_clean_baseline(seed=args.seed)
+        print("clean-baseline: resilience on == off (byte-identical)")
+        for script in scripts:
+            verdict = check_scenario(script, seed=args.seed)
+            print(verdict.summary())
+    except InvariantViolation as error:
+        reporter.error(f"error: invariant violated: {error}")
+        return EXIT_VALIDATION_FAILED
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     arg_list = list(sys.argv[1:] if argv is None else argv)
     if arg_list and arg_list[0] == "trace":
@@ -454,12 +550,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and not args.checkpoint_dir:
         reporter.error("error: --resume requires --checkpoint-dir")
         return EXIT_USAGE
-    if args.checkpoint_every < 0:
-        reporter.error(
-            f"error: --checkpoint-every must be >= 0, "
-            f"got {args.checkpoint_every}"
-        )
-        return EXIT_USAGE
+    # explicit non-positive values on count/duration knobs are always a
+    # mistake (omit the flag to disable the feature) — reject loudly
+    for option, value in (
+        ("--checkpoint-every", args.checkpoint_every),
+        ("--run-deadline", args.run_deadline),
+        ("--stage-deadline", args.stage_deadline),
+        ("--hedge-delay", args.hedge_delay),
+    ):
+        if value is not None and value <= 0:
+            reporter.error(
+                f"error: {option} must be > 0, got {value} "
+                f"(omit the flag to disable)"
+            )
+            return EXIT_USAGE
+    if args.command == "chaos":
+        return _chaos_command(args, reporter)
     try:
         hunter_config = _hunter_config(args)
     except ValueError as error:
@@ -495,6 +601,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         reporter.error(f"error: {error}")
         return EXIT_USAGE
+    if args.chaos_script:
+        from .resilience.scenario import (
+            ScenarioError,
+            apply_scenario,
+            load_scenario,
+        )
+
+        try:
+            script = load_scenario(args.chaos_script)
+            installed = apply_scenario(script, world, hunter)
+        except ScenarioError as error:
+            reporter.error(f"error: {error}")
+            return EXIT_USAGE
+        reporter.info(
+            f"# chaos: {script.name} ({installed} fault bindings)"
+        )
 
     trace = RunTrace(args.trace_out) if args.trace_out else None
     if trace is not None:
@@ -509,7 +631,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         store=store,
         resume=args.resume,
         scenario_fingerprint=_scenario_fingerprint(args),
-        checkpoint_every=args.checkpoint_every,
+        checkpoint_every=args.checkpoint_every or 0,
     )
     needs_validation = args.command in ("run", "validate")
     try:

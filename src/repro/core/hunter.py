@@ -46,6 +46,7 @@ from ..obs.events import (
 )
 from ..pipeline.errors import SourceError
 from ..pipeline.resilience import SourceHealth, merge_health
+from ..resilience import AimdController, DeadlineBudget, HedgeController
 from ..sandbox.ids import Severity
 from ..sandbox.sandbox import SandboxReport
 from .analysis import MaliciousAnalysisResult, MaliciousBehaviorAnalyzer
@@ -183,6 +184,18 @@ class HunterConfig:
     #: bounded-channel capacity (and stage-2 chunk size) of the
     #: streaming dataflow
     channel_depth: int = 64
+    #: virtual-seconds budget for the whole run; once exhausted the
+    #: engine sheds not-yet-sent queries (0 = unlimited)
+    run_deadline: float = 0.0
+    #: virtual-seconds budget per pipeline phase (0 = unlimited)
+    stage_deadline: float = 0.0
+    #: base hedge delay: after a first failed attempt, retry after this
+    #: many virtual seconds instead of the full timeout + backoff window
+    #: (0 = hedging off)
+    hedge_delay: float = 0.0
+    #: AIMD adaptive per-server/per-provider send credit (no-op until
+    #: the first failure)
+    aimd: bool = False
 
     #: knobs that do not change *what* the pipeline computes, only how
     #: fast — excluded from the checkpoint fingerprint so a run may be
@@ -232,6 +245,24 @@ class HunterConfig:
         if self.channel_depth < 1:
             raise ValueError(
                 f"channel_depth must be >= 1, got {self.channel_depth}"
+            )
+        if self.run_deadline < 0:
+            raise ValueError(
+                f"run_deadline must be >= 0, got {self.run_deadline}"
+            )
+        if self.stage_deadline < 0:
+            raise ValueError(
+                f"stage_deadline must be >= 0, got {self.stage_deadline}"
+            )
+        if self.hedge_delay < 0:
+            raise ValueError(
+                f"hedge_delay must be >= 0, got {self.hedge_delay}"
+            )
+        if self.hedge_delay > 0 and self.hedge_delay >= self.timeout:
+            raise ValueError(
+                f"hedge_delay ({self.hedge_delay}) must be below the "
+                f"engine timeout ({self.timeout}) — a hedge that fires "
+                "after the timeout is a plain retry"
             )
 
     def engine_policy(self) -> EnginePolicy:
@@ -314,6 +345,24 @@ class URHunter:
             self.config.scanner_ip,
             policy=self.config.engine_policy(),
         )
+        # Resilience controllers attach by duck typing so the QueryEngine
+        # protocol stays minimal; every mechanism is a deterministic
+        # no-op on a healthy world (clean runs are byte-identical to a
+        # config with all of these off).
+        if self.config.run_deadline > 0 or self.config.stage_deadline > 0:
+            self.engine.budget = DeadlineBudget(
+                run_deadline=self.config.run_deadline,
+                stage_deadline=self.config.stage_deadline,
+            )
+        if self.config.hedge_delay > 0:
+            self.engine.hedge = HedgeController(
+                base_delay=self.config.hedge_delay,
+                timeout=self.config.timeout,
+            )
+        if self.config.aimd:
+            self.engine.aimd = AimdController(timeout=self.config.timeout)
+        #: the engine's resilience counters (None for engines without them)
+        self.resilience = getattr(self.engine, "resilience", None)
         self.collector = ResponseCollector(
             network,
             scanner_ip=self.config.scanner_ip,
@@ -545,6 +594,18 @@ class URHunter:
             accumulator.add(entry)
         classified: List[ClassifiedUR] = accumulator.classified()
         unverifiable = accumulator.unverifiable
+        # The resilience snapshot only joins the report once a mechanism
+        # actually fired — a healthy run renders byte-identically to a
+        # run without resilience configured.
+        resilience = self.resilience
+        if resilience is not None and not resilience.active:
+            resilience = None
+        notes = stage1.notes
+        if resilience is not None and resilience.shed_total:
+            # shed queries degrade coverage: surface them next to the
+            # other degradation provenance (drives the degraded-mode
+            # exit contract)
+            notes = notes + (f"shed-queries:{resilience.shed_total}",)
         degraded = DegradedSources(
             sources=merge_health(
                 stage2.source_health, stage3.source_health
@@ -552,7 +613,7 @@ class URHunter:
             skipped_conditions=dict(stage2.skipped_conditions),
             unverifiable_urs=unverifiable,
             partial_ip_verdicts=stage3.analysis.partial_ip_verdicts,
-            notes=stage1.notes,
+            notes=notes,
         )
         collection = stage1.collection
         return MeasurementReport(
@@ -565,6 +626,7 @@ class URHunter:
             false_negative_rate=stage2.fn_rate,
             scan_metrics=collection.metrics,
             stage2_metrics=stage2.metrics,
+            resilience_metrics=resilience,
             degraded=degraded if degraded.is_degraded else None,
         )
 

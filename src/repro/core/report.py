@@ -200,6 +200,9 @@ class MeasurementReport:
     scan_metrics: Optional[ScanMetrics] = None
     #: stage-2 exclusion observability (dedup, verdict-cache hit rates)
     stage2_metrics: Optional[Stage2Metrics] = None
+    #: resilience-layer counters (hedges, sheds, AIMD); None unless a
+    #: mechanism actually fired, so healthy runs render unchanged
+    resilience_metrics: Optional[object] = None
     #: set when any data source degraded during the run (None = clean)
     degraded: Optional[DegradedSources] = None
 
@@ -461,4 +464,6 @@ class MeasurementReport:
             registry.register(self.scan_metrics)
         if self.stage2_metrics is not None:
             registry.register(self.stage2_metrics)
+        if self.resilience_metrics is not None:
+            registry.register(self.resilience_metrics)
         return registry

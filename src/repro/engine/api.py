@@ -58,6 +58,8 @@ class OutcomeStatus(enum.Enum):
     GAVE_UP = "gave_up"
     #: the task was never sent — the server's circuit was open
     SKIPPED = "skipped"
+    #: the task was never sent — a deadline budget shed it
+    SHED = "shed"
 
 
 @dataclass(slots=True)

@@ -36,22 +36,30 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..dns.message import Message
 from ..net.network import NetworkError, SimulatedInternet
 from ..obs.events import STAGE1 as OBS_STAGE1
+from ..resilience.metrics import ResilienceMetrics
 from .api import EnginePolicy, OutcomeStatus, QueryOutcome, QueryTask
 from .breaker import CircuitBreaker, CircuitState
 from .metrics import ScanMetrics
 from .ratelimit import RateLimiter
 
+#: hedge state of the task at the head of a lane
+_HEDGE_NONE = 0      # no hedge fired for this task yet
+_HEDGE_PENDING = 1   # the in-flight attempt is the hedge
+_HEDGE_SPENT = 2     # the hedge also failed; normal retry path
+
 
 class _Lane:
     """The per-server shard: pending tasks plus retry state for the head."""
 
-    __slots__ = ("server_ip", "queue", "attempts")
+    __slots__ = ("server_ip", "queue", "attempts", "hedge")
 
     def __init__(self, server_ip: str):
         self.server_ip = server_ip
         self.queue: Deque[Tuple[int, QueryTask]] = deque()
         #: attempts already sent for the task at the head of the queue
         self.attempts = 0
+        #: hedge state for the task at the head of the queue
+        self.hedge = _HEDGE_NONE
 
 
 class BatchedEngine:
@@ -79,6 +87,14 @@ class BatchedEngine:
         #: optional repro.obs.RunTrace — breaker trips are emitted as
         #: deterministic ``breaker.trip`` events when attached
         self.trace = None
+        #: optional resilience controllers (attached by URHunter; all
+        #: are strict no-ops when None, and deterministic no-ops on a
+        #: healthy world when attached)
+        self.budget = None  # repro.resilience.DeadlineBudget
+        self.hedge = None   # repro.resilience.HedgeController
+        self.aimd = None    # repro.resilience.AimdController
+        #: deterministic counters for the resilience layer
+        self.resilience = ResilienceMetrics()
 
     # -- QueryEngine protocol ---------------------------------------------
 
@@ -112,6 +128,12 @@ class BatchedEngine:
         latency = self.metrics.latency
         query_dns_auto = network.query_dns_auto
         scanner_ip = self.scanner_ip
+        budget = self.budget
+        hedge = self.hedge
+        aimd = self.aimd
+        resilience = self.resilience
+        if budget is not None:
+            budget.begin(network.now)
 
         # Shard into lanes, preserving the caller's (randomized) order
         # within each server.
@@ -156,8 +178,12 @@ class BatchedEngine:
                 if was_socket:
                     busy -= 1
                 now = network.now
-                if ready_at > now:
-                    # every worker is blocked — advance the world
+                if ready_at > now and (
+                    budget is None or not budget.run_exhausted(now)
+                ):
+                    # every worker is blocked — advance the world (unless
+                    # the run budget is spent: everything left will shed,
+                    # so waiting out timers would only inflate the clock)
                     network.tick(ready_at - now)
             if not lane.queue:
                 if unopened:
@@ -167,15 +193,58 @@ class BatchedEngine:
             if task.stage != stage_name:
                 stage_name = task.stage
                 counters = self.metrics.stage(stage_name)
+                if budget is not None:
+                    budget.enter_phase(stage_name, network.now)
             now = network.now
             server_ip = lane.server_ip
 
-            if pacing:
-                token_ready = limiter.ready_at(server_ip, now)
-                if token_ready > now:
-                    counters.rate_limit_wait += token_ready - now
+            # deadline budgets: shed tasks that have not been sent yet
+            # (a pure function of the virtual clock, so batch and stream
+            # shed identically)
+            if budget is not None:
+                reason = budget.check(now, stage_name)
+                if reason is not None:
+                    lane.queue.popleft()
+                    counters.shed += 1
+                    resilience.note_shed(reason)
+                    if budget.announce(stage_name, reason) and (
+                        self.trace is not None
+                    ):
+                        self.trace.emit(
+                            "budget.exhausted",
+                            stage=OBS_STAGE1,
+                            phase=stage_name,
+                            reason=reason,
+                        )
+                    yield index, QueryOutcome(
+                        task=task,
+                        status=OutcomeStatus.SHED,
+                        attempts=lane.attempts,
+                        completed_at=now,
+                    )
+                    lane.attempts = 0
+                    lane.hedge = _HEDGE_NONE
+                    ready.append(lane)
+                    continue
+
+            provider = getattr(task.tag, "provider", None)
+            if pacing or aimd is not None:
+                token_ready = (
+                    limiter.ready_at(server_ip, now) if pacing else now
+                )
+                send_ready = token_ready
+                if aimd is not None:
+                    aimd_ready = aimd.ready_at(server_ip, provider, now)
+                    if aimd_ready > send_ready:
+                        send_ready = aimd_ready
+                if send_ready > now:
+                    pace_wait = token_ready - now
+                    if pace_wait > 0:
+                        counters.rate_limit_wait += pace_wait
+                    if send_ready - now > pace_wait:
+                        resilience.aimd_wait += send_ready - now - pace_wait
                     heapq.heappush(
-                        waiting, (token_ready, sequence, lane, False)
+                        waiting, (send_ready, sequence, lane, False)
                     )
                     sequence += 1
                     continue
@@ -191,11 +260,14 @@ class BatchedEngine:
                     completed_at=now,
                 )
                 lane.attempts = 0
+                lane.hedge = _HEDGE_NONE
                 ready.append(lane)
                 continue
 
             if pacing:
                 limiter.take(server_ip, now)
+            if aimd is not None:
+                aimd.note_send(server_ip, now)
             lane.attempts += 1
             counters.queries += 1
             sent_at = now
@@ -209,6 +281,21 @@ class BatchedEngine:
 
             if response is not None:
                 breaker.record_success(server_ip)
+                if aimd is not None:
+                    aimd.on_success(server_ip, provider)
+                if hedge is not None:
+                    hedge.observe(server_ip, now - sent_at)
+                    if lane.hedge == _HEDGE_PENDING:
+                        hedge.won += 1
+                        resilience.hedges_won += 1
+                        if self.trace is not None:
+                            self.trace.emit(
+                                "hedge.won",
+                                stage=OBS_STAGE1,
+                                scope="nameserver",
+                                server=server_ip,
+                                phase=task.stage,
+                            )
                 counters.responses += 1
                 latency.record(now - sent_at)
                 yield index, QueryOutcome(
@@ -220,6 +307,7 @@ class BatchedEngine:
                 )
                 lane.queue.popleft()
                 lane.attempts = 0
+                lane.hedge = _HEDGE_NONE
                 ready.append(lane)
                 continue
 
@@ -237,6 +325,57 @@ class BatchedEngine:
                     server=server_ip,
                     phase=task.stage,
                 )
+            if aimd is not None and aimd.on_failure(server_ip, provider):
+                resilience.aimd_cuts += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "aimd.cut",
+                        stage=OBS_STAGE1,
+                        scope="nameserver",
+                        server=server_ip,
+                        phase=task.stage,
+                    )
+
+            # hedging: instead of waiting out the first attempt's full
+            # timeout + backoff window, park only for the (much shorter)
+            # per-server hedge delay and fire the second attempt — the
+            # retry *is* the hedge, so loss accounting is unchanged
+            if (
+                hedge is not None
+                and lane.hedge == _HEDGE_NONE
+                and lane.attempts == 1
+                and lane.attempts <= policy.retries
+            ):
+                delay = hedge.delay(server_ip)
+                latency.record(now - sent_at + delay)
+                counters.retries += 1
+                lane.hedge = _HEDGE_PENDING
+                hedge.fired += 1
+                resilience.hedges_fired += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "hedge.fired",
+                        stage=OBS_STAGE1,
+                        scope="nameserver",
+                        server=server_ip,
+                        phase=task.stage,
+                    )
+                heapq.heappush(waiting, (now + delay, sequence, lane, True))
+                busy += 1
+                sequence += 1
+                continue
+            if lane.hedge == _HEDGE_PENDING:
+                lane.hedge = _HEDGE_SPENT
+                hedge.wasted += 1
+                resilience.hedges_wasted += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "hedge.wasted",
+                        stage=OBS_STAGE1,
+                        scope="nameserver",
+                        server=server_ip,
+                        phase=task.stage,
+                    )
             latency.record(now - sent_at + policy.timeout)
             lane_free_at = now + policy.timeout
             if lane.attempts > policy.retries:
@@ -249,6 +388,7 @@ class BatchedEngine:
                 )
                 lane.queue.popleft()
                 lane.attempts = 0
+                lane.hedge = _HEDGE_NONE
             else:
                 counters.retries += 1
                 lane_free_at += policy.backoff_delay(lane.attempts)

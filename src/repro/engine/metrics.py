@@ -111,6 +111,8 @@ class StageCounters:
     giveups: int = 0
     #: tasks never sent because the server's circuit was open
     skipped: int = 0
+    #: tasks never sent because a deadline budget shed them
+    shed: int = 0
     #: virtual seconds spent honoring the per-server pacing interval
     rate_limit_wait: float = 0.0
 
@@ -121,6 +123,7 @@ class StageCounters:
         self.retries += other.retries
         self.giveups += other.giveups
         self.skipped += other.skipped
+        self.shed += other.shed
         self.rate_limit_wait += other.rate_limit_wait
 
 
@@ -180,6 +183,10 @@ class ScanMetrics:
         return int(self._total("skipped"))
 
     @property
+    def shed(self) -> int:
+        return int(self._total("shed"))
+
+    @property
     def loss_rate(self) -> float:
         """Fraction of sent attempts that timed out."""
         return self.timeouts / self.queries if self.queries else 0.0
@@ -206,6 +213,7 @@ class ScanMetrics:
             "retries": self.retries,
             "giveups": self.giveups,
             "skipped": self.skipped,
+            "shed": self.shed,
             "loss_rate": self.loss_rate,
             "stages": {
                 name: {
@@ -215,6 +223,7 @@ class ScanMetrics:
                     "retries": counters.retries,
                     "giveups": counters.giveups,
                     "skipped": counters.skipped,
+                    "shed": counters.shed,
                     "rate_limit_wait": counters.rate_limit_wait,
                 }
                 for name, counters in sorted(self.stages.items())
@@ -239,6 +248,10 @@ class ScanMetrics:
             f"{indent}retries: {self.retries:,}  giveups: "
             f"{self.giveups:,}  circuit-skips: {self.skipped:,}",
         ]
+        # shed only renders when nonzero so healthy-run report text is
+        # unchanged from pre-resilience output
+        if self.shed:
+            lines.append(f"{indent}shed: {self.shed:,}")
         if self.latency.total:
             lines.append(
                 f"{indent}latency p50/p90/p99: "
@@ -254,6 +267,7 @@ class ScanMetrics:
                 f"r={counters.responses:,} t={counters.timeouts:,} "
                 f"retry={counters.retries:,} giveup={counters.giveups:,} "
                 f"skip={counters.skipped:,}"
+                + (f" shed={counters.shed:,}" if counters.shed else "")
             )
         return "\n".join(lines)
 

@@ -51,7 +51,34 @@ class TokenBucket:
         return now + (1.0 - self.tokens) * self.interval
 
     def take(self, now: float) -> None:
-        """Consume one token; callers must have waited for readiness."""
+        """Consume one token; callers must have waited for readiness.
+
+        Taking without a token would silently drive ``tokens`` negative
+        and stretch every later pacing wait, so an unsatisfied take is a
+        scheduling bug in the caller and raises instead of clamping:
+        wait for :meth:`ready_at` first.  A caller that waited exactly
+        until :meth:`ready_at` may refill to fractionally under one
+        token (float rounding), so readiness is judged with an epsilon
+        and the epsilon shortfall is clamped to zero, never negative.
+        """
+        if self.interval <= 0:
+            return
+        self._refill(now)
+        if self.tokens < 1.0 - 1e-9:
+            raise RuntimeError(
+                f"token bucket not ready at t={now}: "
+                f"{self.tokens:.6f} tokens (wait for ready_at first)"
+            )
+        self.tokens = max(self.tokens - 1.0, 0.0)
+
+    def penalize(self, now: float) -> None:
+        """Debit one token *without* a readiness check.
+
+        Unlike :meth:`take` this may deliberately drive ``tokens``
+        negative, pushing :meth:`ready_at` further into the future —
+        the cool-down primitive :class:`~repro.pipeline.resilience.SourceGuard`
+        uses when an upstream source reports rate-limiting.
+        """
         if self.interval <= 0:
             return
         self._refill(now)
@@ -87,3 +114,9 @@ class RateLimiter:
         if not self.enabled:
             return
         self._bucket(server_ip).take(now)
+
+    def penalize(self, server_ip: str, now: float) -> None:
+        """Debit without a readiness check (see :meth:`TokenBucket.penalize`)."""
+        if not self.enabled:
+            return
+        self._bucket(server_ip).penalize(now)

@@ -17,6 +17,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dns.message import Message
 from ..net.network import NetworkError, SimulatedInternet
+from ..obs.events import STAGE1 as OBS_STAGE1
+from ..resilience.metrics import ResilienceMetrics
 from .api import EnginePolicy, OutcomeStatus, QueryOutcome, QueryTask
 from .metrics import ScanMetrics
 from .ratelimit import RateLimiter
@@ -40,6 +42,16 @@ class SequentialEngine:
         self.metrics = metrics if metrics is not None else ScanMetrics()
         self._limiter = RateLimiter(self.policy.per_server_interval)
         self._query_cache: Dict[Tuple[object, int, bool], Message] = {}
+        #: optional repro.obs.RunTrace (budget.exhausted / hedge events)
+        self.trace = None
+        #: optional resilience controllers (attached by URHunter).  The
+        #: serial engine honours budgets and hedging; AIMD is accepted
+        #: but inert — with a single lane there is no concurrency to
+        #: adapt, and pacing already serializes per-server sends.
+        self.budget = None
+        self.hedge = None
+        self.aimd = None
+        self.resilience = ResilienceMetrics()
 
     # -- QueryEngine protocol ---------------------------------------------
 
@@ -79,8 +91,33 @@ class SequentialEngine:
         policy = self.policy
         counters = self.metrics.stage(task.stage)
         network = self.network
+        budget = self.budget
+        hedge = self.hedge
+        if budget is not None:
+            budget.begin(network.now)
+            budget.enter_phase(task.stage, network.now)
+            reason = budget.check(network.now, task.stage)
+            if reason is not None:
+                counters.shed += 1
+                self.resilience.note_shed(reason)
+                if budget.announce(task.stage, reason) and (
+                    self.trace is not None
+                ):
+                    self.trace.emit(
+                        "budget.exhausted",
+                        stage=OBS_STAGE1,
+                        phase=task.stage,
+                        reason=reason,
+                    )
+                return QueryOutcome(
+                    task=task,
+                    status=OutcomeStatus.SHED,
+                    attempts=0,
+                    completed_at=network.now,
+                )
         query = self._query_for(task)
         attempts = 0
+        hedging = False
         while True:
             # pacing: the lone worker has nothing to do but wait
             ready = self._limiter.ready_at(task.server_ip, network.now)
@@ -98,6 +135,19 @@ class SequentialEngine:
             except NetworkError:
                 response = None
             if response is not None:
+                if hedge is not None:
+                    hedge.observe(task.server_ip, network.now - sent_at)
+                    if hedging:
+                        hedge.won += 1
+                        self.resilience.hedges_won += 1
+                        if self.trace is not None:
+                            self.trace.emit(
+                                "hedge.won",
+                                stage=OBS_STAGE1,
+                                scope="nameserver",
+                                server=task.server_ip,
+                                phase=task.stage,
+                            )
                 counters.responses += 1
                 self.metrics.latency.record(network.now - sent_at)
                 return QueryOutcome(
@@ -107,8 +157,45 @@ class SequentialEngine:
                     attempts=attempts,
                     completed_at=network.now,
                 )
-            # timed out: the scanner waited the full timeout for nothing
             counters.timeouts += 1
+            # hedging: after the first failure, wait only the hedge
+            # delay before the second attempt instead of the full
+            # timeout + backoff window (the retry *is* the hedge)
+            if (
+                hedge is not None
+                and not hedging
+                and attempts == 1
+                and attempts <= policy.retries
+            ):
+                delay = hedge.delay(task.server_ip)
+                network.tick(delay)
+                self.metrics.latency.record(network.now - sent_at)
+                counters.retries += 1
+                hedging = True
+                hedge.fired += 1
+                self.resilience.hedges_fired += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "hedge.fired",
+                        stage=OBS_STAGE1,
+                        scope="nameserver",
+                        server=task.server_ip,
+                        phase=task.stage,
+                    )
+                continue
+            if hedging:
+                hedging = False
+                hedge.wasted += 1
+                self.resilience.hedges_wasted += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "hedge.wasted",
+                        stage=OBS_STAGE1,
+                        scope="nameserver",
+                        server=task.server_ip,
+                        phase=task.stage,
+                    )
+            # timed out: the scanner waited the full timeout for nothing
             network.tick(policy.timeout)
             self.metrics.latency.record(network.now - sent_at)
             if attempts > policy.retries:

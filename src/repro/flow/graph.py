@@ -39,6 +39,10 @@ class FlowStats:
     """What the flow buffered: proof the channels stayed bounded."""
 
     channels: Sequence[ChannelStats]
+    #: pump sweeps the run took (a liveness figure: a healthy flow
+    #: finishes in a bounded number of sweeps per item; chaos tests use
+    #: it to show faulted runs still drain instead of spinning)
+    sweeps: int = 0
 
     @property
     def max_occupancy(self) -> int:
@@ -130,18 +134,23 @@ class FlowGraph:
         #: occupancy report through it (timing section: occupancy is
         #: depth-dependent and stream-only)
         self.trace = trace
+        #: pump sweeps executed by the last run()
+        self.sweeps = 0
 
     def run(self) -> None:
         """Pump until every node is done."""
+        self.sweeps = 0
         while True:
             remaining = [node for node in self.nodes if not node.done]
             if not remaining:
                 if self.trace is not None:
                     self.trace.emit_timing(
                         "flow.channels",
+                        sweeps=self.sweeps,
                         channels=self.stats().to_metrics().to_dict(),
                     )
                 return
+            self.sweeps += 1
             progress = False
             # downstream-first: drain before refilling
             for node in reversed(remaining):
@@ -163,5 +172,6 @@ class FlowGraph:
                     total=channel.total,
                 )
                 for channel in self.channels
-            )
+            ),
+            sweeps=self.sweeps,
         )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Protocol as TypingProtocol
+from typing import Dict, List, Optional, Protocol as TypingProtocol
 
 from ..dns.message import Message, Rcode
 from ..dns.wire import WireError, decode_message, encode_message
@@ -68,13 +68,24 @@ class FaultProfile:
       ``[0, latency_jitter)`` virtual seconds;
     * ``flap_up`` / ``flap_down`` — when both are set the host cycles
       online for ``flap_up`` seconds then dead for ``flap_down``
-      seconds, phase-locked to the virtual clock (deterministic).
+      seconds, phase-locked to the virtual clock (deterministic);
+    * ``start`` / ``duration`` — optional activity window: the profile
+      only applies from ``start`` for ``duration`` virtual seconds
+      (``duration == 0`` means open-ended).  Flap phase is measured
+      relative to ``start``.
+
+    ``flap_down > 0`` with ``flap_up == 0`` is rejected: that shape is
+    a permanently-dead host disguised as a flapping one — use
+    :meth:`SimulatedInternet.set_online` (or ``loss_rate=1.0``) to
+    model a dead host explicitly.
     """
 
     loss_rate: float = 0.0
     latency_jitter: float = 0.0
     flap_up: float = 0.0
     flap_down: float = 0.0
+    start: float = 0.0
+    duration: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate <= 1.0:
@@ -87,6 +98,14 @@ class FaultProfile:
             )
         if self.flap_up < 0 or self.flap_down < 0:
             raise ValueError("flap durations must be >= 0")
+        if self.flap_down > 0 and self.flap_up <= 0:
+            raise ValueError(
+                "flap_down > 0 requires flap_up > 0: a host that never "
+                "comes back up is dead, not flapping (use set_online or "
+                "loss_rate=1.0)"
+            )
+        if self.start < 0 or self.duration < 0:
+            raise ValueError("start/duration must be >= 0")
 
     @property
     def active(self) -> bool:
@@ -96,12 +115,18 @@ class FaultProfile:
             or (self.flap_up > 0 and self.flap_down > 0)
         )
 
+    def active_at(self, now: float) -> bool:
+        """Is the profile's activity window open at ``now``?"""
+        if now < self.start:
+            return False
+        return self.duration <= 0 or now < self.start + self.duration
+
     def flapped_down(self, now: float) -> bool:
         """Is a flapping host inside its dead window at ``now``?"""
         period = self.flap_up + self.flap_down
         if self.flap_down <= 0 or period <= 0:
             return False
-        return (now % period) >= self.flap_up
+        return ((now - self.start) % period) >= self.flap_up
 
 
 class SimulatedInternet:
@@ -129,6 +154,7 @@ class SimulatedInternet:
         #: failure injection (None / empty = zero overhead)
         self._global_faults: Optional[FaultProfile] = None
         self._server_faults: Dict[str, FaultProfile] = {}
+        self._fault_windows: Dict[str, List[FaultProfile]] = {}
         self._fault_rng = random.Random(0)
 
     # -- failure injection --------------------------------------------------
@@ -170,15 +196,47 @@ class SimulatedInternet:
         else:
             self._server_faults.pop(address, None)
 
+    def add_fault_window(self, address: str, profile: FaultProfile) -> None:
+        """Attach a time-windowed fault profile to one host.
+
+        Windows stack: several may target the same address (chaos
+        scenarios compile onto this hook) and each active window is
+        evaluated, in insertion order, before the static per-server /
+        global profile.
+        """
+        if profile.active:
+            self._fault_windows.setdefault(address, []).append(profile)
+
+    def seed_faults(self, seed: int) -> None:
+        """Re-seed the fault RNG (scenario scripts pin their own seed)."""
+        self._fault_rng = random.Random(seed)
+
     def clear_faults(self) -> None:
         """Remove every injected fault profile."""
         self._global_faults = None
         self._server_faults.clear()
+        self._fault_windows.clear()
 
     def _fault_profile(self, address: str) -> Optional[FaultProfile]:
         if not self._server_faults and self._global_faults is None:
             return None
         return self._server_faults.get(address, self._global_faults)
+
+    def _active_faults(self, address: str, now: float) -> List[FaultProfile]:
+        """Every profile that applies to ``address`` at ``now``.
+
+        Active windows first (insertion order), then the static profile
+        — so with no windows installed behaviour is exactly the
+        pre-window fault path.
+        """
+        profiles: List[FaultProfile] = []
+        for window in self._fault_windows.get(address, ()):
+            if window.active_at(now):
+                profiles.append(window)
+        static = self._fault_profile(address)
+        if static is not None:
+            profiles.append(static)
+        return profiles
 
     # -- clock ------------------------------------------------------------
 
@@ -276,8 +334,7 @@ class SimulatedInternet:
             self.stats["dns_timeouts"] += 1
             self.capture.record(replace(flow, success=False))
             raise NetworkError(f"no DNS service at {dst_ip}")
-        faults = self._fault_profile(dst_ip)
-        if faults is not None:
+        for faults in self._active_faults(dst_ip, self._clock):
             if faults.flapped_down(self._clock):
                 self.stats["dns_timeouts"] += 1
                 self.stats["flap_drops"] += 1

@@ -45,7 +45,9 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 #: bumped whenever the JSONL layout or canonical ordering changes
-TRACE_FORMAT_VERSION = 1
+#: (v2: resilience events — hedge.*, aimd.cut, budget.exhausted — and
+#: the ``shed`` counter on run.end)
+TRACE_FORMAT_VERSION = 2
 
 #: logical stage tags — string-equal to the pipeline runner's stage
 #: names so checkpoints, failure provenance, and trace events share one
@@ -240,12 +242,14 @@ def run_end_fields(report: Any, status: Optional[str] = None) -> Dict[str, Any]:
         timeouts = metrics.timeouts
         giveups = metrics.giveups
         skipped = metrics.skipped
+        shed = getattr(metrics, "shed", 0)
     else:
         queries = report.queries_sent
         responses = report.responses_seen
         timeouts = report.timeouts
         giveups = 0
         skipped = 0
+        shed = 0
     return {
         "status": status
         or ("degraded" if report.is_degraded else "clean"),
@@ -256,5 +260,6 @@ def run_end_fields(report: Any, status: Optional[str] = None) -> Dict[str, Any]:
         "timeouts": timeouts,
         "giveups": giveups,
         "skipped": skipped,
+        "shed": shed,
         "unaccounted": queries - responses - timeouts,
     }

@@ -29,7 +29,9 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 #: bumped whenever the metrics.json layout changes
-METRICS_FORMAT_VERSION = 1
+#: (v2: ``shed`` counters in the scan-engine block and the optional
+#: ``resilience`` deterministic section)
+METRICS_FORMAT_VERSION = 2
 
 
 @runtime_checkable
@@ -143,6 +145,11 @@ def build_metrics_document(
     stage2 = getattr(report, "stage2_metrics", None)
     if stage2 is not None:
         deterministic["stage2_exclusion"] = stage2.to_dict()
+    resilience = getattr(report, "resilience_metrics", None)
+    if resilience is not None:
+        # hedge/shed/AIMD decisions are virtual-clock deterministic, so
+        # the whole block belongs to the byte-compared section
+        deterministic["resilience"] = resilience.to_dict()
     degraded = getattr(report, "degraded", None)
     if degraded is not None:
         deterministic["sources"] = {

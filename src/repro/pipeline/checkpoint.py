@@ -49,8 +49,9 @@ from .resilience import SourceHealth
 
 #: checkpoint format version; bump when the payload schema changes
 #: (v2: stage-1 ``now`` became the classification epoch, stage-2
-#: metrics dropped their wall-clock fields, stream segments added)
-FORMAT_VERSION = 2
+#: metrics dropped their wall-clock fields, stream segments added;
+#: v3: ``shed`` joined the per-stage scan counters)
+FORMAT_VERSION = 3
 
 
 # -- generic json helpers ---------------------------------------------------
@@ -241,6 +242,7 @@ def encode_metrics(metrics: Optional[ScanMetrics]) -> Optional[Dict[str, Any]]:
                 "retries": counters.retries,
                 "giveups": counters.giveups,
                 "skipped": counters.skipped,
+                "shed": counters.shed,
                 "rate_limit_wait": counters.rate_limit_wait,
             }
             for stage, counters in sorted(metrics.stages.items())

@@ -326,7 +326,9 @@ class SourceGuard:
                         self._note_degraded(
                             source, ledger, was_degraded, "rate-limited"
                         )
-                        self.limiter.take(source, self._clock)
+                        # deliberate cool-down debit (may go negative),
+                        # not a paced send — take() would raise here
+                        self.limiter.penalize(source, self._clock)
                     attempt += 1
                     if attempt <= self.retries:
                         ledger.retries += 1

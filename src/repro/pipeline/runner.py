@@ -198,6 +198,12 @@ class PipelineRunner:
                 f"unknown stage {stop_after!r} "
                 f"(known: {', '.join(STAGE_ORDER)})"
             )
+        # Anchor any deadline budget at the runner's start so "run
+        # deadline" measures the whole pipeline, not just the first
+        # engine call (the engine's own begin() is idempotent).
+        budget = getattr(self.hunter.engine, "budget", None)
+        if budget is not None:
+            budget.begin(self.hunter.network.now)
         streaming = self.hunter.config.execution == "stream"
         if streaming and stop_after is not None:
             raise ValueError(

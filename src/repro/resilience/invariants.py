@@ -1,0 +1,192 @@
+"""Robustness contracts replayed over chaos scenarios.
+
+The checker runs one :class:`~repro.resilience.scenario.ScenarioScript`
+through a matrix of execution modes and asserts the contracts the
+resilience layer promises:
+
+* **determinism under chaos** — batch and stream produce byte-identical
+  report summaries for any worker count / channel depth, because every
+  fault is driven by the seeded virtual clock, never by wall time;
+* **degradation is accounted** — every run ends with
+  ``unaccounted == 0``: shed, timed-out, and given-up queries all land
+  in a named counter, nothing vanishes;
+* **no stalls** — faulted streaming runs still drain (the flow pump
+  finishes; a stall raises and fails the check);
+* **clean runs are untouched** — with no faults injected, a
+  resilience-enabled run is byte-identical to a resilience-disabled
+  one: budgets that never expire, hedges that never fire, and AIMD at
+  full credit must be exact no-ops.
+
+Import by full path (``repro.resilience.invariants``): this module
+builds worlds and pipelines, far above the leaf layer engines import.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import HunterConfig, URHunter
+from ..obs import RunTrace
+from ..pipeline import PipelineRunner
+from ..scenario import build_world, small_config
+from .scenario import ScenarioScript, apply_scenario
+
+#: (execution, stage2_workers, channel_depth) — the replay matrix; one
+#: batch anchor plus stream configs that must not change a single byte
+MATRIX: Tuple[Tuple[str, int, int], ...] = (
+    ("batch", 1, 64),
+    ("stream", 1, 8),
+    ("stream", 4, 64),
+)
+
+#: resilience knobs the chaos replays run with
+RESILIENCE_KNOBS = dict(hedge_delay=0.25, aimd=True)
+
+
+class InvariantViolation(AssertionError):
+    """A robustness contract the replay broke."""
+
+
+@dataclass
+class ScenarioVerdict:
+    """What one scenario's replay established."""
+
+    scenario: str
+    #: per-config labels, e.g. "batch/w1/d64"
+    configs: List[str] = field(default_factory=list)
+    statuses: List[str] = field(default_factory=list)
+    #: run.end unaccounted per config (all must be zero)
+    unaccounted: List[int] = field(default_factory=list)
+    #: shed/hedge/aimd activity of the first config (determinism makes
+    #: the others identical)
+    resilience: Dict[str, object] = field(default_factory=dict)
+    identical: bool = False
+
+    def summary(self) -> str:
+        status = sorted(set(self.statuses))
+        return (
+            f"{self.scenario}: {len(self.configs)} configs, "
+            f"status={'/'.join(status)}, "
+            f"identical={'yes' if self.identical else 'NO'}, "
+            f"max-unaccounted={max(self.unaccounted, default=0)}"
+        )
+
+
+def _run_once(
+    scenario: Optional[ScenarioScript],
+    seed: int,
+    execution: str,
+    workers: int,
+    depth: int,
+    resilience: bool,
+) -> Tuple[str, str, int, Dict[str, object]]:
+    """One full pipeline run; returns (summary, status, unaccounted,
+    resilience-metrics-dict)."""
+    world = build_world(small_config(seed=seed))
+    knobs = dict(RESILIENCE_KNOBS) if resilience else {}
+    config = HunterConfig(
+        execution=execution,
+        stage2_workers=workers,
+        channel_depth=depth,
+        **knobs,
+    )
+    hunter = URHunter.from_world(world, config)
+    trace = RunTrace()
+    hunter.attach_trace(trace)
+    if scenario is not None:
+        apply_scenario(scenario, world, hunter)
+    result = PipelineRunner(hunter).run(validate=False)
+    report = result.report
+    run_end = None
+    for line in trace.deterministic_lines():
+        event = json.loads(line)
+        if event.get("event") == "run.end":
+            run_end = event
+    if run_end is None:
+        raise InvariantViolation(
+            f"{execution}/w{workers}/d{depth}: trace has no run.end"
+        )
+    metrics = report.resilience_metrics
+    return (
+        report.summary(),
+        result.status,
+        int(run_end["unaccounted"]),
+        metrics.to_dict() if metrics is not None else {},
+    )
+
+
+def check_scenario(
+    scenario: ScenarioScript, seed: int = 7
+) -> ScenarioVerdict:
+    """Replay ``scenario`` across :data:`MATRIX`; raise on any breach."""
+    verdict = ScenarioVerdict(scenario=scenario.name)
+    summaries: List[str] = []
+    for execution, workers, depth in MATRIX:
+        label = f"{execution}/w{workers}/d{depth}"
+        try:
+            summary, status, unaccounted, metrics = _run_once(
+                scenario, seed, execution, workers, depth, resilience=True
+            )
+        except InvariantViolation:
+            raise
+        except Exception as error:  # a stall or crash is itself a breach
+            raise InvariantViolation(
+                f"{scenario.name} [{label}]: run raised "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        verdict.configs.append(label)
+        verdict.statuses.append(status)
+        verdict.unaccounted.append(unaccounted)
+        if not summaries:
+            verdict.resilience = metrics
+        summaries.append(summary)
+        if status not in ("clean", "degraded"):
+            raise InvariantViolation(
+                f"{scenario.name} [{label}]: status {status!r} "
+                f"(expected clean or degraded)"
+            )
+        if unaccounted != 0:
+            raise InvariantViolation(
+                f"{scenario.name} [{label}]: {unaccounted} queries "
+                f"unaccounted — degradation leaked out of the ledger"
+            )
+    verdict.identical = all(s == summaries[0] for s in summaries)
+    if not verdict.identical:
+        diverging = [
+            label
+            for label, s in zip(verdict.configs, summaries)
+            if s != summaries[0]
+        ]
+        raise InvariantViolation(
+            f"{scenario.name}: report summaries diverge across the "
+            f"matrix (differs: {', '.join(diverging)})"
+        )
+    return verdict
+
+
+def check_clean_baseline(seed: int = 7) -> None:
+    """On a healthy world, resilience on ≡ resilience off, byte for byte."""
+    with_summary, with_status, _, with_metrics = _run_once(
+        None, seed, "batch", 1, 64, resilience=True
+    )
+    without_summary, without_status, _, _ = _run_once(
+        None, seed, "batch", 1, 64, resilience=False
+    )
+    if with_summary != without_summary:
+        raise InvariantViolation(
+            "clean-run baseline: resilience-enabled report differs "
+            "from resilience-disabled — the layer is not a no-op "
+            "on healthy runs"
+        )
+    if with_status != "clean" or without_status != "clean":
+        raise InvariantViolation(
+            f"clean-run baseline: statuses {with_status}/{without_status} "
+            f"(expected clean/clean)"
+        )
+    if with_metrics:
+        raise InvariantViolation(
+            f"clean-run baseline: resilience metrics active on a "
+            f"healthy run: {with_metrics}"
+        )

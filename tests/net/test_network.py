@@ -168,3 +168,114 @@ class TestTcpTransport:
             "10.9.9.9", "10.1.1.1", 80, b"x", metadata={"k": "v"}
         )
         assert network.capture.flows[-1].metadata["k"] == "v"
+
+
+def _fault_query():
+    return Message.make_query(
+        "test.net", RRType.A, recursion_desired=False
+    )
+
+
+class TestFaultProfileValidation:
+    def test_flap_down_without_up_rejected(self):
+        from repro.net.network import FaultProfile
+
+        with pytest.raises(ValueError, match="dead, not flapping"):
+            FaultProfile(flap_up=0.0, flap_down=30.0)
+
+    def test_negative_window_rejected(self):
+        from repro.net.network import FaultProfile
+
+        with pytest.raises(ValueError):
+            FaultProfile(start=-1.0)
+        with pytest.raises(ValueError):
+            FaultProfile(loss_rate=0.5, duration=-1.0)
+
+    def test_window_activity(self):
+        from repro.net.network import FaultProfile
+
+        profile = FaultProfile(loss_rate=1.0, start=100.0, duration=50.0)
+        assert not profile.active_at(99.0)
+        assert profile.active_at(100.0)
+        assert profile.active_at(149.0)
+        assert not profile.active_at(150.0)
+        open_ended = FaultProfile(loss_rate=1.0, start=100.0)
+        assert open_ended.active_at(1e9)
+
+
+class TestFaultWindows:
+    def test_window_only_bites_inside_its_span(self, network_with_server):
+        from repro.net.network import FaultProfile, NetworkError
+
+        network, _ = network_with_server
+        network.add_fault_window(
+            "10.0.0.1",
+            FaultProfile(loss_rate=1.0, start=10.0, duration=20.0),
+        )
+        # before the window: clean
+        assert network.query_dns("10.9.9.9", "10.0.0.1", _fault_query())
+        network.tick(10.0)
+        with pytest.raises(NetworkError):
+            network.query_dns("10.9.9.9", "10.0.0.1", _fault_query())
+        network.tick(25.0)
+        # after the window: clean again
+        assert network.query_dns("10.9.9.9", "10.0.0.1", _fault_query())
+
+    def test_windows_stack_on_one_address(self, network_with_server):
+        from repro.net.network import FaultProfile, NetworkError
+
+        network, _ = network_with_server
+        network.add_fault_window(
+            "10.0.0.1", FaultProfile(loss_rate=1.0, duration=5.0)
+        )
+        network.add_fault_window(
+            "10.0.0.1",
+            FaultProfile(loss_rate=1.0, start=5.0, duration=5.0),
+        )
+        with pytest.raises(NetworkError):
+            network.query_dns("10.9.9.9", "10.0.0.1", _fault_query())
+        network.tick(6.0)
+        with pytest.raises(NetworkError):
+            network.query_dns("10.9.9.9", "10.0.0.1", _fault_query())
+        network.tick(6.0)
+        assert network.query_dns("10.9.9.9", "10.0.0.1", _fault_query())
+
+    def test_seed_faults_is_deterministic(self, network_with_server):
+        from repro.net.network import FaultProfile, NetworkError
+
+        def drops(seed):
+            net, _ = (
+                lambda: (SimulatedInternet(), None)
+            )()
+            server = AuthoritativeServer("ns1.test.net")
+            server.load_zone(
+                zone_from_records(
+                    "test.net", [("test.net", "A", "192.0.2.1")]
+                )
+            )
+            net.register_dns_host("10.0.0.1", server)
+            net.add_fault_window(
+                "10.0.0.1", FaultProfile(loss_rate=0.5)
+            )
+            net.seed_faults(seed)
+            outcomes = []
+            for _ in range(20):
+                try:
+                    net.query_dns("10.9.9.9", "10.0.0.1", _fault_query())
+                    outcomes.append(True)
+                except NetworkError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert drops(3) == drops(3)
+        assert drops(3) != drops(4)
+
+    def test_clear_faults_drops_windows(self, network_with_server):
+        from repro.net.network import FaultProfile
+
+        network, _ = network_with_server
+        network.add_fault_window(
+            "10.0.0.1", FaultProfile(loss_rate=1.0)
+        )
+        network.clear_faults()
+        assert network.query_dns("10.9.9.9", "10.0.0.1", _fault_query())

@@ -20,8 +20,10 @@ from repro import cli
 from repro.obs import METRICS_FORMAT_VERSION, TRACE_FORMAT_VERSION
 
 #: pinned versions — bump deliberately, with a changelog entry
-PINNED_TRACE_FORMAT = 1
-PINNED_METRICS_FORMAT = 1
+#: (v2: resilience layer — shed counters, hedge/aimd/budget events,
+#: optional "resilience" deterministic metrics section)
+PINNED_TRACE_FORMAT = 2
+PINNED_METRICS_FORMAT = 2
 
 #: every run.end must account for queries with exactly these counters
 RUN_END_REQUIRED = {
@@ -35,6 +37,7 @@ RUN_END_REQUIRED = {
     "timeouts",
     "giveups",
     "skipped",
+    "shed",
     "unaccounted",
 }
 
@@ -56,6 +59,7 @@ SCAN_ENGINE_KEYS = {
     "retries",
     "giveups",
     "skipped",
+    "shed",
     "loss_rate",
     "stages",
     "latency",

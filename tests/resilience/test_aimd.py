@@ -1,0 +1,152 @@
+"""AIMD adaptive send credit: unit behaviour plus engine composition."""
+
+import json
+
+import pytest
+
+from repro.dns.name import name
+from repro.dns.rdata import RRType
+from repro.engine import BatchedEngine, EnginePolicy, QueryTask
+from repro.net.network import FaultProfile
+from repro.obs import RunTrace
+from repro.resilience import AimdController
+
+from .conftest import NS_LIVE, NS_LIVE2, SCANNER
+
+
+def _task(server_ip, qtype=RRType.A, stage="ur"):
+    return QueryTask(
+        server_ip=server_ip,
+        qname=name("example.test"),
+        qtype=qtype,
+        stage=stage,
+    )
+
+
+class TestAimdControllerUnit:
+    def test_full_credit_means_no_delay(self):
+        aimd = AimdController(timeout=5.0)
+        assert aimd.ready_at("10.0.0.1", None, 7.0) == 7.0
+        aimd.note_send("10.0.0.1", 7.0)
+        # still full credit: back-to-back sends allowed
+        assert aimd.ready_at("10.0.0.1", None, 7.0) == 7.0
+
+    def test_multiplicative_cut_spaces_sends(self):
+        aimd = AimdController(timeout=5.0)
+        aimd.note_send("10.0.0.1", 0.0)
+        assert aimd.on_failure("10.0.0.1", None)
+        # credit 0.5 -> extra interval (1 - 0.5) * 5.0 * 0.5 = 1.25s
+        assert aimd.ready_at("10.0.0.1", None, 0.0) == pytest.approx(1.25)
+
+    def test_additive_recovery_restores_full_credit(self):
+        aimd = AimdController(timeout=5.0)
+        aimd.on_failure("10.0.0.1", None)
+        for _ in range(2):
+            aimd.on_success("10.0.0.1", None)
+        aimd.note_send("10.0.0.1", 0.0)
+        assert aimd.ready_at("10.0.0.1", None, 0.0) == 0.0
+
+    def test_credit_never_falls_below_floor(self):
+        aimd = AimdController(timeout=5.0)
+        for _ in range(50):
+            aimd.on_failure("10.0.0.1", None)
+        aimd.note_send("10.0.0.1", 0.0)
+        # floored credit: the wait is bounded, not unbounded backoff
+        wait = aimd.ready_at("10.0.0.1", None, 0.0)
+        assert wait <= (1.0 - 1.0 / 16.0) * 5.0 * 0.5 + 1e-9
+
+    def test_provider_cut_slows_sibling_servers(self):
+        aimd = AimdController(timeout=5.0)
+        aimd.on_failure("10.0.0.1", "Cloudflare")
+        # a different server under the same provider inherits the
+        # provider-level cut
+        aimd.note_send("10.0.0.2", 0.0)
+        assert aimd.ready_at("10.0.0.2", "Cloudflare", 0.0) > 0.0
+        # but an unrelated provider does not
+        aimd.note_send("10.0.0.3", 0.0)
+        assert aimd.ready_at("10.0.0.3", "Amazon", 0.0) == 0.0
+
+    def test_repeat_failure_reporting(self):
+        aimd = AimdController(timeout=5.0)
+        assert aimd.on_failure("10.0.0.1", None)
+        # already at the floor after enough cuts: no new cut reported
+        for _ in range(10):
+            aimd.on_failure("10.0.0.1", None)
+        assert not aimd.on_failure("10.0.0.1", None)
+
+
+class TestEngineComposition:
+    def _engine(self, network, interval=0.0):
+        engine = BatchedEngine(
+            network,
+            SCANNER,
+            EnginePolicy(per_server_interval=interval, retries=1),
+        )
+        engine.aimd = AimdController(timeout=5.0)
+        engine.trace = RunTrace()
+        return engine
+
+    def test_clean_run_is_untouched(self, make_network):
+        network = make_network()
+        engine = self._engine(network)
+        engine.execute([_task(NS_LIVE) for _ in range(6)])
+        assert engine.resilience.aimd_cuts == 0
+        assert engine.resilience.aimd_wait == 0.0
+        assert not engine.resilience.active
+
+    def test_timeouts_cut_and_delay(self, make_network):
+        network = make_network()
+        network.add_fault_window(
+            NS_LIVE, FaultProfile(loss_rate=1.0, duration=12.0)
+        )
+        engine = self._engine(network)
+        engine.execute([_task(NS_LIVE) for _ in range(4)])
+        resilience = engine.resilience
+        assert resilience.aimd_cuts > 0
+        assert resilience.aimd_wait > 0.0
+        events = [
+            json.loads(line)
+            for line in engine.trace.deterministic_lines()
+            if json.loads(line).get("event") == "aimd.cut"
+        ]
+        assert len(events) == resilience.aimd_cuts
+        assert all(event["server"] == NS_LIVE for event in events)
+
+    def test_aimd_composes_with_pacing(self, make_network):
+        # pacing alone vs pacing+AIMD on a faulted server: AIMD may only
+        # add delay on top of the token bucket, never bypass it
+        def run(with_aimd):
+            network = make_network()
+            network.add_fault_window(
+                NS_LIVE, FaultProfile(loss_rate=1.0, duration=12.0)
+            )
+            engine = BatchedEngine(
+                network,
+                SCANNER,
+                EnginePolicy(per_server_interval=2.0, retries=1),
+            )
+            if with_aimd:
+                engine.aimd = AimdController(timeout=5.0)
+            engine.execute([_task(NS_LIVE) for _ in range(4)])
+            return network.now, engine.metrics.stage("ur").rate_limit_wait
+
+        paced_clock, paced_wait = run(with_aimd=False)
+        aimd_clock, aimd_wait = run(with_aimd=True)
+        assert aimd_clock >= paced_clock
+        # the token-bucket share of the wait is unchanged; AIMD's extra
+        # wait is accounted separately, not folded into pacing
+        assert aimd_wait == pytest.approx(paced_wait)
+
+    def test_unrelated_server_keeps_full_speed(self, make_network):
+        network = make_network()
+        network.add_fault_window(
+            NS_LIVE, FaultProfile(loss_rate=1.0, duration=12.0)
+        )
+        engine = self._engine(network)
+        engine.execute(
+            [_task(NS_LIVE), _task(NS_LIVE2), _task(NS_LIVE2)]
+        )
+        # cuts happened on the faulted server only; the healthy one
+        # answered everything without AIMD delay
+        counters = engine.metrics.stage("ur")
+        assert counters.responses >= 2

@@ -1,0 +1,107 @@
+"""CLI hardening: non-positive knobs exit 2; chaos plumbing works."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def _run(argv):
+    return cli.main(argv)
+
+
+class TestKnobValidation:
+    """Explicit non-positive values are usage errors (exit 2), never
+    silently clamped or passed through."""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--channel-depth", "0"],
+            ["--channel-depth", "-4"],
+            ["--stage2-workers", "0"],
+            ["--stage2-workers", "-1"],
+            ["--checkpoint-every", "0"],
+            ["--checkpoint-every", "-5"],
+            ["--run-deadline", "0"],
+            ["--run-deadline", "-10"],
+            ["--stage-deadline", "0"],
+            ["--hedge-delay", "0"],
+            ["--hedge-delay", "-0.5"],
+        ],
+    )
+    def test_non_positive_knob_exits_2(self, flags, capsys):
+        assert _run(["--scale", "small", *flags, "run"]) == cli.EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_hedge_delay_at_or_above_timeout_exits_2(self, capsys):
+        code = _run(
+            [
+                "--scale", "small",
+                "--timeout", "5", "--hedge-delay", "5",
+                "run",
+            ]
+        )
+        assert code == cli.EXIT_USAGE
+        assert "hedge_delay" in capsys.readouterr().err
+
+    def test_unknown_chaos_script_exits_2(self, capsys):
+        code = _run(
+            ["--scale", "small", "--chaos-script", "no-such", "chaos"]
+        )
+        assert code == cli.EXIT_USAGE
+        assert "no-such" in capsys.readouterr().err
+
+    def test_run_with_unknown_chaos_script_exits_2(self, capsys):
+        code = _run(
+            ["--scale", "small", "--chaos-script", "no-such", "run"]
+        )
+        assert code == cli.EXIT_USAGE
+
+
+class TestChaosRun:
+    def test_chaos_script_run_sheds_nothing_but_degrades_gracefully(
+        self, tmp_path, capsys
+    ):
+        # a full CLI run under the storm scenario: exits 0 (degradation
+        # is not failure), resilience metrics land in the artifacts
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = _run(
+            [
+                "--scale", "small", "--seed", "7",
+                "--chaos-script", "tail-latency-storm",
+                "--hedge-delay", "0.25", "--aimd",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+                "-q", "run",
+            ]
+        )
+        assert code == cli.EXIT_OK
+        out = capsys.readouterr().out
+        assert "resilience metrics:" in out
+        document = json.loads(metrics.read_text())
+        resilience = document["deterministic"]["resilience"]
+        assert resilience["hedges_fired"] > 0
+        # every shed/timeout is accounted: the trace's run.end closes
+        run_end = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if '"run.end"' in line
+        ][-1]
+        assert run_end["unaccounted"] == 0
+
+    def test_run_deadline_sheds_and_reports(self, capsys):
+        code = _run(
+            [
+                "--scale", "small", "--seed", "7",
+                "--run-deadline", "50",
+                "-q", "run",
+            ]
+        )
+        assert code == cli.EXIT_OK
+        out = capsys.readouterr().out
+        # shed queries surface in the scan metrics block
+        assert "shed:" in out
