@@ -77,6 +77,7 @@ from .defense import evaluate_defenses
 from .dns.rdata import RRType
 from .hosting import TABLE2_PROVIDERS
 from .intel.aggregator import ThreatIntelAggregator
+from .net.scanpath import ScanPathMetrics
 from .obs import (
     Reporter,
     RunTrace,
@@ -180,6 +181,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "inject uniform query loss with probability P in [0, 1) "
             "(deterministic per --seed; default 0, no loss)"
+        ),
+    )
+    engine.add_argument(
+        "--no-scan-cache",
+        action="store_true",
+        help=(
+            "disable the scan-path fast lane (compiled zone answers + "
+            "wire-codec memoization); the naive reference path produces "
+            "byte-identical output, just slower"
+        ),
+    )
+    engine.add_argument(
+        "--capture-mode",
+        choices=("full", "sampled", "off"),
+        default="full",
+        help=(
+            "scan-phase traffic-capture fidelity: full stores every "
+            "flow, sampled every Nth per protocol, off only counts "
+            "(default: full; sandbox detonation always captures fully)"
         ),
     )
     execution = parser.add_argument_group(
@@ -402,6 +422,8 @@ def _hunter_config(args: argparse.Namespace) -> HunterConfig:
         stage_deadline=args.stage_deadline or 0.0,
         hedge_delay=args.hedge_delay or 0.0,
         aimd=args.aimd,
+        scan_cache=not args.no_scan_cache,
+        capture_mode=args.capture_mode,
     )
     if args.mx:
         config.query_types = (RRType.A, RRType.TXT, RRType.MX)
@@ -496,6 +518,7 @@ def _write_metrics(
         flow_metrics=(
             flow_stats.to_metrics() if flow_stats is not None else None
         ),
+        scan_path=ScanPathMetrics.from_network(hunter.network),
     )
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)

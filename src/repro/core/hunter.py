@@ -37,6 +37,7 @@ from ..intel.aggregator import ThreatIntelAggregator
 from ..intel.ipinfo import IpInfoDatabase
 from ..intel.pdns import PassiveDnsStore
 from ..net.network import SimulatedInternet
+from ..net.traffic import CaptureMode
 from ..obs.events import (
     STAGE1 as OBS_STAGE1,
     STAGE2 as OBS_STAGE2,
@@ -196,13 +197,28 @@ class HunterConfig:
     #: AIMD adaptive per-server/per-provider send credit (no-op until
     #: the first failure)
     aimd: bool = False
+    #: serve compiled zone answers and memoized wire codec results on
+    #: the simulated network (the scan-path fast lane; output is
+    #: byte-identical either way — False keeps the naive reference path)
+    scan_cache: bool = True
+    #: scan-phase traffic-capture fidelity: "full" stores every flow,
+    #: "sampled" every Nth per protocol, "off" only counts (sandbox
+    #: detonation happens at world build and always captures in full)
+    capture_mode: str = "full"
 
     #: knobs that do not change *what* the pipeline computes, only how
     #: fast — excluded from the checkpoint fingerprint so a run may be
     #: resumed under a different worker count, memoization setting, or
     #: execution mode (batch and streaming reports are byte-identical)
     FINGERPRINT_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset(
-        {"stage2_workers", "stage2_memoize", "execution", "channel_depth"}
+        {
+            "stage2_workers",
+            "stage2_memoize",
+            "execution",
+            "channel_depth",
+            "scan_cache",
+            "capture_mode",
+        }
     )
 
     def __post_init__(self) -> None:
@@ -263,6 +279,11 @@ class HunterConfig:
                 f"hedge_delay ({self.hedge_delay}) must be below the "
                 f"engine timeout ({self.timeout}) — a hedge that fires "
                 "after the timeout is a plain retry"
+            )
+        if self.capture_mode not in ("full", "sampled", "off"):
+            raise ValueError(
+                f"unknown capture_mode {self.capture_mode!r} "
+                "(known: full, sampled, off)"
             )
 
     def engine_policy(self) -> EnginePolicy:
@@ -339,6 +360,14 @@ class URHunter:
         self.pdns = pdns
         self.sandbox_reports = list(sandbox_reports)
         self.config = config or HunterConfig()
+        # Scan-path fast-lane knobs apply to the shared network: the
+        # compiled/memoized caches are byte-identity-preserving, and the
+        # capture mode only thins the *scan-phase* flow store (sandbox
+        # detonation happens at world-build time, before this runs).
+        network.scan_cache_enabled = self.config.scan_cache
+        capture = getattr(network, "capture", None)
+        if capture is not None and hasattr(capture, "mode"):
+            capture.mode = CaptureMode(self.config.capture_mode)
         self.engine = create_engine(
             self.config.engine,
             network,

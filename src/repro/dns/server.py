@@ -15,14 +15,48 @@ behaviours that matter to the paper's measurement:
 from __future__ import annotations
 
 import enum
+import struct
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .message import Message, Rcode, ResourceRecord
 from .name import Name, name
 from .rdata import NS, RRType, Rdata
+from .wire import WireError, _with_message_id, encode_message
 from .zone import LookupStatus, Zone
 
 MAX_CNAME_CHAIN = 8
+
+_MESSAGE_ID = struct.Struct("!H")
+
+
+class _CompiledAnswer:
+    """A prebuilt response for one (question, header-flags) shape.
+
+    ``template`` is the fully built response message and ``wire`` its
+    encoding; serving a hit is a dict lookup plus (at most) a header
+    swap and a 2-byte message-id patch.  Staleness is caught by the
+    validators: ``zone.serial`` for zone-backed answers (bumped by
+    ``Zone.add``/``Zone.remove``), and the unhosted-policy snapshot for
+    synthesized answers.  Entries never survive ``load_zone``/
+    ``unload_zone`` — those clear the whole cache.
+    """
+
+    __slots__ = ("template", "wire", "zone", "serial", "policy", "extras")
+
+    def __init__(
+        self,
+        template: Message,
+        wire: bytes,
+        zone: Optional[Zone],
+        policy: "UnhostedPolicy",
+        extras: Tuple[object, ...],
+    ):
+        self.template = template
+        self.wire = wire
+        self.zone = zone
+        self.serial = zone.serial if zone is not None else 0
+        self.policy = policy
+        self.extras = extras
 
 # Resolvers are imported lazily to avoid a module cycle
 # (resolver -> server for tests, server -> resolver for fallback typing).
@@ -63,6 +97,15 @@ class AuthoritativeServer:
         self.addresses: List[str] = []
         #: counters for tests/observability
         self.query_count = 0
+        #: compiled answer cache (scan-path fast lane); flushed whenever
+        #: the zone map changes
+        self._compiled: Dict[object, _CompiledAnswer] = {}
+        #: REFUSED-template pool used only when the network offers no
+        #: shared ``refused_pool`` (bare-harness tests)
+        self._refused_fallback: Dict[object, tuple] = {}
+        #: bumped on load_zone/unload_zone — observable by tests as the
+        #: generation stamp behind compiled-cache invalidation
+        self.generation = 0
 
     # -- zone management ----------------------------------------------------
 
@@ -70,6 +113,8 @@ class AuthoritativeServer:
         """Serve ``zone``; replaces any existing zone at the same origin."""
         self._zones[zone.origin] = zone
         self._origin_index[zone.origin.lowered_labels] = zone
+        self.generation += 1
+        self._compiled.clear()
 
     def unload_zone(self, origin: Union[str, Name]) -> bool:
         """Stop serving the zone at ``origin``; True when it existed."""
@@ -77,6 +122,8 @@ class AuthoritativeServer:
         if removed is None:
             return False
         del self._origin_index[removed.origin.lowered_labels]
+        self.generation += 1
+        self._compiled.clear()
         return True
 
     def zone_for(self, qname: Union[str, Name]) -> Optional[Zone]:
@@ -110,6 +157,8 @@ class AuthoritativeServer:
         self.query_count += 1
         if not query.questions:
             return query.make_response(rcode=Rcode.FORMERR)
+        if getattr(network, "scan_cache_enabled", False):
+            return self._answer_compiled(query, network)
         question = query.questions[0]
         zone = self.zone_for(question.qname)
         if zone is None:
@@ -117,6 +166,146 @@ class AuthoritativeServer:
         return self._answer_from_zone(query, zone)
 
     # -- internals -----------------------------------------------------------
+
+    def _answer_compiled(
+        self, query: Message, network: object
+    ) -> Message:
+        """The fast lane: serve a prebuilt answer when one is still valid.
+
+        Answering is a pure function of (question, query flags, zone
+        contents, unhosted policy) — except the ``RECURSIVE`` fallback,
+        which may resolve through the live network and is therefore
+        never compiled.  The response header echoes everything from the
+        query header but the rcode/response bits, so a template
+        compiled under one message id serves any other id with a header
+        swap and a 2-byte wire patch.
+
+        Unhosted ``REFUSED`` answers are special-cased into a
+        network-wide pool: their body depends only on the query, not on
+        which server refused it, and a scan sends the same question to
+        many servers.
+        """
+        # the transport computed this exact key for its own query cache
+        # (read before any reentrant handler can overwrite it)
+        key = getattr(network, "_last_query_key", None)
+        if key is None:
+            key = (
+                query.header.flags_word(),
+                tuple(
+                    (question.qname.labels, question.qtype, question.qclass)
+                    for question in query.questions
+                ),
+            )
+        metrics = getattr(network, "scanpath", None)
+        entry = self._compiled.get(key)
+        if entry is not None and self._compiled_fresh(entry):
+            if metrics is not None:
+                metrics.compiled_hits += 1
+            return self._serve_template(
+                entry.template, entry.wire, query.header.message_id
+            )
+        question = query.questions[0]
+        zone = self.zone_for(question.qname)
+        if zone is None and self.unhosted_policy is UnhostedPolicy.REFUSED:
+            return self._answer_refused_pooled(query, key, network, metrics)
+        if zone is None:
+            if (
+                self.unhosted_policy is UnhostedPolicy.RECURSIVE
+                and self.recursive_fallback is not None
+            ):
+                return self._answer_unhosted(query)
+            response = self._answer_unhosted(query)
+        else:
+            response = self._answer_from_zone(query, zone)
+        if metrics is not None:
+            metrics.compiled_misses += 1
+        codec = getattr(network, "codec", None)
+        try:
+            # the shared codec cache makes this nearly free when the
+            # same answer body already went to another prober
+            wire = (
+                codec.encode(response)
+                if codec is not None
+                else encode_message(response)
+            )
+        except WireError:
+            # unencodable answers surface their error on the transport's
+            # own encode, exactly as on the naive path
+            return response
+        response.compiled_wire = wire
+        self._compiled[key] = _CompiledAnswer(
+            template=response,
+            wire=wire,
+            zone=zone,
+            policy=self.unhosted_policy,
+            extras=(
+                ()
+                if zone is not None
+                else (
+                    tuple(self.protective_records),
+                    self.recursive_fallback,
+                )
+            ),
+        )
+        return response
+
+    @staticmethod
+    def _serve_template(
+        template: Message, wire: bytes, message_id: int
+    ) -> Message:
+        """Serve a compiled template under the querier's message id."""
+        if message_id == template.header.message_id:
+            return template
+        response = _with_message_id(template, message_id)
+        response.compiled_wire = _MESSAGE_ID.pack(message_id) + wire[2:]
+        return response
+
+    def _answer_refused_pooled(
+        self, query: Message, key, network: object, metrics
+    ) -> Message:
+        """Unhosted REFUSED via the network-wide template pool.
+
+        Pool entries are valid forever: the body is a pure echo of the
+        query plus the REFUSED rcode, independent of any server state —
+        a server whose policy changes away from REFUSED simply stops
+        consulting the pool.
+        """
+        pool = getattr(network, "refused_pool", None)
+        if pool is None:
+            pool = self._refused_fallback  # network without a pool
+        cached = pool.get(key)
+        if cached is not None:
+            if metrics is not None:
+                metrics.compiled_hits += 1
+            template, wire = cached
+            return self._serve_template(
+                template, wire, query.header.message_id
+            )
+        if metrics is not None:
+            metrics.compiled_misses += 1
+        response = query.make_response(rcode=Rcode.REFUSED)
+        codec = getattr(network, "codec", None)
+        try:
+            wire = (
+                codec.encode(response)
+                if codec is not None
+                else encode_message(response)
+            )
+        except WireError:
+            return response
+        response.compiled_wire = wire
+        if len(pool) >= 65536:
+            pool.pop(next(iter(pool)))
+        pool[key] = (response, wire)
+        return response
+
+    def _compiled_fresh(self, entry: _CompiledAnswer) -> bool:
+        if entry.zone is not None:
+            return entry.zone.serial == entry.serial
+        return entry.policy is self.unhosted_policy and entry.extras == (
+            tuple(self.protective_records),
+            self.recursive_fallback,
+        )
 
     def _answer_unhosted(self, query: Message) -> Message:
         question = query.questions[0]

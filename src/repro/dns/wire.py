@@ -294,3 +294,245 @@ def decode_message(data: bytes) -> Message:
 def roundtrip(message: Message) -> Message:
     """Encode then decode; used by the transport and by tests."""
     return decode_message(encode_message(message))
+
+
+# -- memoization ---------------------------------------------------------------
+
+
+def clone_message(template: Message) -> Message:
+    """A shallow copy safe to hand to callers: fresh section lists,
+    shared frozen records/header.  Callers may rebind or extend the
+    lists without corrupting the cached template."""
+    return Message(
+        header=template.header,
+        questions=list(template.questions),
+        answers=list(template.answers),
+        authorities=list(template.authorities),
+        additionals=list(template.additionals),
+    )
+
+
+_MESSAGE_ID = struct.Struct("!H")
+
+
+def _with_message_id(template: Message, message_id: int) -> Message:
+    """A clone of ``template`` under a different message id.
+
+    Runs once per cache hit, so it bypasses both ``dataclasses.replace``
+    and the frozen ``Header.__init__``: copying the field dict and
+    overwriting ``message_id`` is equivalent (``Header`` has no slots)
+    and several times cheaper at scan volume.
+    """
+    header = object.__new__(Header)
+    header.__dict__.update(template.header.__dict__)
+    header.__dict__["message_id"] = message_id
+    return Message(
+        header=header,
+        questions=list(template.questions),
+        answers=list(template.answers),
+        authorities=list(template.authorities),
+        additionals=list(template.additionals),
+    )
+
+
+def _rdata_key(rdata: Rdata):
+    """A hashable, case-exact stand-in for RDATA in structural keys.
+
+    Frozen rdata objects are hashable, but the name-bearing types hash
+    through :class:`Name`, whose equality is case-insensitive — two
+    spellings that encode differently would collide.  Expand their
+    names to exact label tuples instead; opaque types (addresses, TXT)
+    hash their strings case-exactly already.
+    """
+    if isinstance(rdata, (NS, CNAME, PTR)):
+        return (rdata.rrtype, rdata.target.labels)
+    if isinstance(rdata, MX):
+        return (RRType.MX, rdata.preference, rdata.exchange.labels)
+    if isinstance(rdata, SOA):
+        return (
+            RRType.SOA,
+            rdata.mname.labels,
+            rdata.rname.labels,
+            rdata.serial,
+            rdata.refresh,
+            rdata.retry,
+            rdata.expire,
+            rdata.minimum,
+        )
+    return rdata
+
+
+def _section_key(records) -> Tuple:
+    return tuple(
+        (
+            record.owner.labels,
+            record.rrtype,
+            record.rrclass,
+            record.ttl,
+            _rdata_key(record.rdata),
+        )
+        for record in records
+    )
+
+
+class WireCodecCache:
+    """Bounded memoization for the simulator's hot encode/decode paths.
+
+    Three caches, all structural (recomputed keys per call, so callers
+    never need to treat messages as frozen) and all **id-agnostic** —
+    the message id occupies exactly the first two wire bytes and the
+    ``message_id`` header field, so a template cached under one id
+    serves any other via a 2-byte patch and a header swap.  Without
+    this the caches would be useless: resolvers mint a fresh id per
+    internal query, and response wires differing only in id would never
+    collide.
+
+    * the **query round-trip cache** maps a record-free message's
+      ``(flags word, questions)`` — with exact label case, since the
+      wire preserves spelling — to its validated wire, collapsing the
+      per-query encode→decode round trip to a dict hit (the first
+      occurrence proved the round trip is the identity, so the original
+      message object can stand in for its own decode);
+    * the **encode cache** maps a full message's structural key (flags,
+      questions, all record sections, names as exact label tuples) to
+      its wire — sound because the encoder is deterministic and
+      compression canonical, so equal structure means equal bytes;
+    * the **decode cache** maps ``wire[2:]`` (everything after the id)
+      to the parsed message, deduplicating the many near-identical
+      responses a scan provokes (REFUSED / protective answers repeat
+      across servers and ids).
+
+    All caches only ever store *successful* codec results — a
+    malformed message pays full price every time, so ``wire_errors``
+    accounting is cache-transparent.  Hits return shallow clones;
+    templates never escape.  Eviction is FIFO at ``max_entries``.
+    """
+
+    __slots__ = (
+        "_query_cache",
+        "_encode_cache",
+        "_decode_cache",
+        "max_entries",
+        "metrics",
+    )
+
+    def __init__(self, metrics=None, max_entries: int = 8192):
+        self._query_cache: Dict[object, Tuple[int, bytes]] = {}
+        self._encode_cache: Dict[object, Tuple[int, bytes]] = {}
+        self._decode_cache: Dict[bytes, Message] = {}
+        self.max_entries = max_entries
+        #: duck-typed counter holder (repro.net.scanpath.ScanPathMetrics)
+        self.metrics = metrics
+
+    @staticmethod
+    def _query_key(query: Message):
+        """Structural identity of a record-free message sans id, or None.
+
+        Label case is part of the key (``Name`` equality is
+        case-insensitive but the wire preserves spelling); the message
+        id is deliberately not — see the class docstring.
+        """
+        if query.answers or query.authorities or query.additionals:
+            return None
+        return (
+            query.header.flags_word(),
+            tuple(
+                (question.qname.labels, question.qtype, question.qclass)
+                for question in query.questions
+            ),
+        )
+
+    def query_hit(self, query: Message):
+        """The cached ``(wire, key)`` for this query, or None.
+
+        The returned wire already carries the query's own message id.
+        The key is handed back so the transport can thread it through
+        to the authoritative server's compiled-answer cache (same key
+        structure) without rebuilding it.
+        """
+        key = self._query_key(query)
+        cached = self._query_cache.get(key) if key is not None else None
+        metrics = self.metrics
+        if cached is None:
+            if metrics is not None:
+                metrics.query_misses += 1
+            return None
+        if metrics is not None:
+            metrics.query_hits += 1
+        cached_id, wire = cached
+        message_id = query.header.message_id
+        if message_id != cached_id:
+            wire = _MESSAGE_ID.pack(message_id) + wire[2:]
+        return wire, key
+
+    def query_store(self, query: Message, wire: bytes) -> None:
+        """Record a validated round trip for future :meth:`query_hit`."""
+        key = self._query_key(query)
+        if key is None:
+            return
+        cache = self._query_cache
+        if len(cache) >= self.max_entries:
+            cache.pop(next(iter(cache)))
+        cache[key] = (query.header.message_id, wire)
+
+    def encode(self, message: Message) -> bytes:
+        """Memoized :func:`encode_message`; failures propagate uncached.
+
+        Responses to a scan are massively repetitive *modulo the
+        question echo and the message id*: the same REFUSED or
+        protective answer goes to every prober.  The structural key
+        makes those a single encode plus 2-byte patches.
+        """
+        key = (
+            message.header.flags_word(),
+            tuple(
+                (question.qname.labels, question.qtype, question.qclass)
+                for question in message.questions
+            ),
+            _section_key(message.answers),
+            _section_key(message.authorities),
+            _section_key(message.additionals),
+        )
+        cache = self._encode_cache
+        cached = cache.get(key)
+        metrics = self.metrics
+        message_id = message.header.message_id
+        if cached is not None:
+            if metrics is not None:
+                metrics.encode_hits += 1
+            cached_id, wire = cached
+            if message_id == cached_id:
+                return wire
+            return _MESSAGE_ID.pack(message_id) + wire[2:]
+        if metrics is not None:
+            metrics.encode_misses += 1
+        wire = encode_message(message)
+        if len(cache) >= self.max_entries:
+            cache.pop(next(iter(cache)))
+        cache[key] = (message_id, wire)
+        return wire
+
+    def decode(self, wire: bytes) -> Message:
+        """Memoized :func:`decode_message`; failures are never cached."""
+        cache = self._decode_cache
+        template = cache.get(wire[2:])
+        metrics = self.metrics
+        if template is not None:
+            if metrics is not None:
+                metrics.decode_hits += 1
+            message_id = _MESSAGE_ID.unpack_from(wire)[0]
+            if message_id == template.header.message_id:
+                return clone_message(template)
+            return _with_message_id(template, message_id)
+        if metrics is not None:
+            metrics.decode_misses += 1
+        decoded = decode_message(wire)
+        if len(cache) >= self.max_entries:
+            cache.pop(next(iter(cache)))
+        cache[wire[2:]] = decoded
+        return clone_message(decoded)
+
+    def clear(self) -> None:
+        self._query_cache.clear()
+        self._encode_cache.clear()
+        self._decode_cache.clear()

@@ -63,6 +63,9 @@ class Zone:
     _rrsets: Dict[Tuple[Name, int], List[ResourceRecord]] = field(
         default_factory=dict
     )
+    #: bumped by :meth:`add`/:meth:`remove`; doubles as the generation
+    #: stamp that invalidates compiled answers in
+    #: :class:`~repro.dns.server.AuthoritativeServer`
     serial: int = 1
 
     def __init__(self, origin: Union[str, Name]):

@@ -51,15 +51,18 @@ _HEDGE_SPENT = 2     # the hedge also failed; normal retry path
 class _Lane:
     """The per-server shard: pending tasks plus retry state for the head."""
 
-    __slots__ = ("server_ip", "queue", "attempts", "hedge")
+    __slots__ = ("server_ip", "queue", "attempts", "hedge", "channel")
 
-    def __init__(self, server_ip: str):
+    def __init__(self, server_ip: str, channel):
         self.server_ip = server_ip
         self.queue: Deque[Tuple[int, QueryTask]] = deque()
         #: attempts already sent for the task at the head of the queue
         self.attempts = 0
         #: hedge state for the task at the head of the queue
         self.hedge = _HEDGE_NONE
+        #: the lane's pinned DNS path — host/fault lookups are resolved
+        #: once per topology generation instead of once per query
+        self.channel = channel
 
 
 class BatchedEngine:
@@ -126,7 +129,7 @@ class BatchedEngine:
         pacing = limiter.enabled
         breaker = self._breaker
         latency = self.metrics.latency
-        query_dns_auto = network.query_dns_auto
+        open_channel = network.open_channel
         scanner_ip = self.scanner_ip
         budget = self.budget
         hedge = self.hedge
@@ -142,7 +145,10 @@ class BatchedEngine:
         for index, task in enumerate(tasks):
             lane = lanes.get(task.server_ip)
             if lane is None:
-                lane = lanes[task.server_ip] = _Lane(task.server_ip)
+                lane = lanes[task.server_ip] = _Lane(
+                    task.server_ip,
+                    open_channel(scanner_ip, task.server_ip),
+                )
                 lane_order.append(lane)
             lane.queue.append((index, task))
 
@@ -272,9 +278,7 @@ class BatchedEngine:
             counters.queries += 1
             sent_at = now
             try:
-                response = query_dns_auto(
-                    scanner_ip, server_ip, self._query_for(task)
-                )
+                response = lane.channel.query_auto(self._query_for(task))
             except NetworkError:
                 response = None
             now = network.now

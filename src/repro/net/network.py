@@ -13,10 +13,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Protocol as TypingProtocol
+from typing import Dict, List, Optional, Protocol as TypingProtocol, Sequence
 
 from ..dns.message import Message, Rcode
-from ..dns.wire import WireError, decode_message, encode_message
+from ..dns.wire import (
+    WireCodecCache,
+    WireError,
+    decode_message,
+    encode_message,
+)
+from .scanpath import ScanPathMetrics
 from .traffic import FlowRecord, Protocol, TrafficCapture
 
 DNS_PORT = 53
@@ -141,7 +147,24 @@ class SimulatedInternet:
         self._clock = 0.0
         self.latency = latency
         self.capture = TrafficCapture()
-        #: counters for observability / benchmarks
+        #: scan-path fast-lane hit/miss counters (timing-only telemetry)
+        self.scanpath = ScanPathMetrics()
+        #: memoized wire codec shared by every transaction on this network
+        self.codec = WireCodecCache(self.scanpath)
+        #: master switch for the fast lane (compiled answers + codec
+        #: memoization).  Output is byte-identical either way; the naive
+        #: path is kept as the correctness reference (--no-scan-cache).
+        self.scan_cache_enabled = True
+        #: the structural key of the query currently in flight, set by
+        #: :meth:`_transact` immediately before the handler call (and
+        #: read by the server at handler entry, before any reentrancy)
+        self._last_query_key = None
+        #: network-wide pool of unhosted-REFUSED answer templates: the
+        #: same REFUSED body goes out whichever server is probed, so the
+        #: per-server compiled caches share one pool for them
+        self.refused_pool: Dict[object, tuple] = {}
+        #: counters for observability / benchmarks — all preinitialized
+        #: so the schema is stable for tests and metrics documents
         self.stats: Dict[str, int] = {
             "dns_queries": 0,
             "dns_timeouts": 0,
@@ -150,12 +173,16 @@ class SimulatedInternet:
             "wire_errors": 0,
             "injected_losses": 0,
             "flap_drops": 0,
+            "truncated_responses": 0,
         }
         #: failure injection (None / empty = zero overhead)
         self._global_faults: Optional[FaultProfile] = None
         self._server_faults: Dict[str, FaultProfile] = {}
         self._fault_windows: Dict[str, List[FaultProfile]] = {}
         self._fault_rng = random.Random(0)
+        #: bumped whenever the host registry or fault profiles change;
+        #: DnsChannel instances revalidate their cached lookups against it
+        self._topology_generation = 0
 
     # -- failure injection --------------------------------------------------
 
@@ -175,6 +202,7 @@ class SimulatedInternet:
         )
         self._global_faults = profile if profile.active else None
         self._fault_rng = random.Random(seed)
+        self._topology_generation += 1
 
     def set_server_faults(
         self,
@@ -195,6 +223,7 @@ class SimulatedInternet:
             self._server_faults[address] = profile
         else:
             self._server_faults.pop(address, None)
+        self._topology_generation += 1
 
     def add_fault_window(self, address: str, profile: FaultProfile) -> None:
         """Attach a time-windowed fault profile to one host.
@@ -206,6 +235,7 @@ class SimulatedInternet:
         """
         if profile.active:
             self._fault_windows.setdefault(address, []).append(profile)
+            self._topology_generation += 1
 
     def seed_faults(self, seed: int) -> None:
         """Re-seed the fault RNG (scenario scripts pin their own seed)."""
@@ -216,6 +246,7 @@ class SimulatedInternet:
         self._global_faults = None
         self._server_faults.clear()
         self._fault_windows.clear()
+        self._topology_generation += 1
 
     def _fault_profile(self, address: str) -> Optional[FaultProfile]:
         if not self._server_faults and self._global_faults is None:
@@ -258,15 +289,18 @@ class SimulatedInternet:
         """Attach a DNS service to an address (port 53)."""
         entry = self._hosts.setdefault(address, _HostEntry())
         entry.dns = service
+        self._topology_generation += 1
 
     def register_tcp_host(self, address: str, service: TcpService) -> None:
         """Attach a generic TCP service to an address."""
         entry = self._hosts.setdefault(address, _HostEntry())
         entry.tcp = service
+        self._topology_generation += 1
 
     def register_stub(self, address: str) -> None:
         """Register an address with no services (a plain endpoint)."""
         self._hosts.setdefault(address, _HostEntry())
+        self._topology_generation += 1
 
     def set_online(self, address: str, online: bool) -> None:
         """Take a host down or bring it back (failure injection)."""
@@ -312,86 +346,169 @@ class SimulatedInternet:
         """
         if transport not in ("udp", "tcp"):
             raise ValueError(f"unknown transport {transport!r}")
-        self._clock += self.latency
-        self.stats["dns_queries"] += 1
-        qname = query.questions[0].qname if query.questions else None
-        flow = FlowRecord(
-            timestamp=self._clock,
-            src=src_ip,
-            dst=dst_ip,
-            protocol=Protocol.DNS,
-            dst_port=DNS_PORT,
-            payload_size=0,
-            metadata={
-                "qname": str(qname) if qname is not None else None,
-                "qtype": (
-                    query.questions[0].qtype if query.questions else None
-                ),
-            },
+        return self._transact(
+            src_ip,
+            dst_ip,
+            self._hosts.get(dst_ip),
+            self._fault_windows.get(dst_ip, ()),
+            self._fault_profile(dst_ip),
+            query,
+            transport,
         )
-        entry = self._hosts.get(dst_ip)
-        if entry is None or not entry.online or entry.dns is None:
-            self.stats["dns_timeouts"] += 1
-            self.capture.record(replace(flow, success=False))
-            raise NetworkError(f"no DNS service at {dst_ip}")
-        for faults in self._active_faults(dst_ip, self._clock):
-            if faults.flapped_down(self._clock):
-                self.stats["dns_timeouts"] += 1
-                self.stats["flap_drops"] += 1
-                self.capture.record(replace(flow, success=False))
-                raise NetworkError(f"host {dst_ip} is flapping (down)")
-            if (
-                faults.loss_rate > 0
-                and self._fault_rng.random() < faults.loss_rate
-            ):
-                self.stats["dns_timeouts"] += 1
-                self.stats["injected_losses"] += 1
-                self.capture.record(replace(flow, success=False))
-                raise NetworkError(f"query to {dst_ip} lost (injected)")
-            if faults.latency_jitter > 0:
-                self._clock += (
-                    self._fault_rng.random() * faults.latency_jitter
+
+    def _transact(
+        self,
+        src_ip: str,
+        dst_ip: str,
+        entry: Optional[_HostEntry],
+        windows: Sequence[FaultProfile],
+        static: Optional[FaultProfile],
+        query: Message,
+        transport: str,
+    ) -> Message:
+        """One DNS transaction with the destination lookups hoisted out.
+
+        ``entry``/``windows``/``static`` are the per-destination host
+        entry and fault profiles — resolved by :meth:`query_dns` per
+        call, or cached across a burst by a :class:`DnsChannel`.  The
+        clock charge, fault dice, truncation check, and loss accounting
+        are identical on both entry paths and on both sides of the
+        ``scan_cache_enabled`` switch.
+        """
+        self._clock += self.latency
+        stats = self.stats
+        stats["dns_queries"] += 1
+        capture = self.capture
+        want_flow = capture.admit(Protocol.DNS)
+        if want_flow:
+            # timestamp/metadata snapshot before any jitter, matching
+            # the eager construction point of the pre-lazy capture
+            flow_time = self._clock
+            if query.questions:
+                first = query.questions[0]
+                base_meta: Dict[str, object] = {
+                    "qname": str(first.qname),
+                    "qtype": first.qtype,
+                }
+            else:
+                base_meta = {"qname": None, "qtype": None}
+
+        def record_failure() -> None:
+            if want_flow:
+                capture.record(
+                    FlowRecord(
+                        timestamp=flow_time,
+                        src=src_ip,
+                        dst=dst_ip,
+                        protocol=Protocol.DNS,
+                        dst_port=DNS_PORT,
+                        success=False,
+                        metadata=base_meta,
+                    )
                 )
-        wire = encode_message(query)
-        try:
-            decoded_query = decode_message(wire)
-        except WireError as exc:
-            self.stats["wire_errors"] += 1
-            raise NetworkError(f"query failed to encode cleanly: {exc}")
+
+        if entry is None or not entry.online or entry.dns is None:
+            stats["dns_timeouts"] += 1
+            record_failure()
+            raise NetworkError(f"no DNS service at {dst_ip}")
+        if windows or static is not None:
+            now = self._clock
+            profiles = [
+                window for window in windows if window.active_at(now)
+            ]
+            if static is not None:
+                profiles.append(static)
+            for faults in profiles:
+                if faults.flapped_down(self._clock):
+                    stats["dns_timeouts"] += 1
+                    stats["flap_drops"] += 1
+                    record_failure()
+                    raise NetworkError(f"host {dst_ip} is flapping (down)")
+                if (
+                    faults.loss_rate > 0
+                    and self._fault_rng.random() < faults.loss_rate
+                ):
+                    stats["dns_timeouts"] += 1
+                    stats["injected_losses"] += 1
+                    record_failure()
+                    raise NetworkError(f"query to {dst_ip} lost (injected)")
+                if faults.latency_jitter > 0:
+                    self._clock += (
+                        self._fault_rng.random() * faults.latency_jitter
+                    )
+        fast = self.scan_cache_enabled
+        cached = self.codec.query_hit(query) if fast else None
+        if cached is not None:
+            # the first occurrence of this (flags, question) shape
+            # proved decode(encode(q)) == q, so the original message
+            # stands in for its own decode; the key is threaded to the
+            # server's compiled cache, which shares its structure
+            wire, self._last_query_key = cached
+            decoded_query = query
+        else:
+            self._last_query_key = None
+            wire = encode_message(query)
+            try:
+                decoded_query = decode_message(wire)
+            except WireError as exc:
+                stats["wire_errors"] += 1
+                raise NetworkError(f"query failed to encode cleanly: {exc}")
+            if fast:
+                self.codec.query_store(query, wire)
         response = entry.dns.handle_dns_query(decoded_query, src_ip, self)
         if response is None:
-            self.stats["dns_timeouts"] += 1
-            self.capture.record(replace(flow, success=False))
+            stats["dns_timeouts"] += 1
+            record_failure()
             raise NetworkError(f"DNS service at {dst_ip} dropped the query")
-        response_wire = encode_message(response)
+        response_wire = (
+            getattr(response, "compiled_wire", None) if fast else None
+        )
+        if response_wire is None:
+            if fast:
+                response_wire = self.codec.encode(response)
+            else:
+                response_wire = encode_message(response)
         if transport == "udp" and len(response_wire) > MAX_UDP_PAYLOAD:
-            self.stats["truncated_responses"] = (
-                self.stats.get("truncated_responses", 0) + 1
-            )
+            stats["truncated_responses"] += 1
             truncated = Message(
                 header=replace(response.header, truncated=True),
                 questions=list(response.questions),
             )
             response_wire = encode_message(truncated)
         try:
-            decoded = decode_message(response_wire)
+            if fast:
+                decoded = self.codec.decode(response_wire)
+            else:
+                decoded = decode_message(response_wire)
         except WireError as exc:
-            self.stats["wire_errors"] += 1
+            stats["wire_errors"] += 1
             raise NetworkError(f"response failed to decode: {exc}")
-        self.capture.record(
-            replace(
-                flow,
-                payload_size=len(response_wire),
-                metadata={
-                    **flow.metadata,
-                    "rcode": Rcode.to_text(decoded.header.rcode),
-                    "answers": [
-                        record.rdata.to_text() for record in decoded.answers
-                    ],
-                },
+        if want_flow:
+            capture.record(
+                FlowRecord(
+                    timestamp=flow_time,
+                    src=src_ip,
+                    dst=dst_ip,
+                    protocol=Protocol.DNS,
+                    dst_port=DNS_PORT,
+                    payload_size=len(response_wire),
+                    metadata={
+                        **base_meta,
+                        "rcode": Rcode.to_text(decoded.header.rcode),
+                        "answers": [
+                            record.rdata.to_text()
+                            for record in decoded.answers
+                        ],
+                    },
+                )
             )
-        )
         return decoded
+
+    def open_channel(self, src_ip: str, dst_ip: str) -> "DnsChannel":
+        """A reusable (src, dst) query path with cached destination
+        lookups — the per-server grouping the batched engine's lanes
+        ride on."""
+        return DnsChannel(self, src_ip, dst_ip)
 
     def query_dns_auto(
         self, src_ip: str, dst_ip: str, query: Message
@@ -425,23 +542,89 @@ class SimulatedInternet:
         reachable = (
             entry is not None and entry.online and entry.tcp is not None
         )
-        merged_metadata = dict(metadata or {})
-        # Keep a payload excerpt so content-inspection (IDS signatures)
-        # works on the capture, as it would on a pcap.
-        merged_metadata.setdefault("payload", payload[:256])
-        flow = FlowRecord(
-            timestamp=self._clock,
-            src=src_ip,
-            dst=dst_ip,
-            protocol=protocol,
-            dst_port=dst_port,
-            payload_size=len(payload),
-            success=reachable,
-            metadata=merged_metadata,
-        )
-        self.capture.record(flow)
+        if self.capture.admit(protocol):
+            merged_metadata = dict(metadata or {})
+            # Keep a payload excerpt so content-inspection (IDS
+            # signatures) works on the capture, as it would on a pcap.
+            merged_metadata.setdefault("payload", payload[:256])
+            self.capture.record(
+                FlowRecord(
+                    timestamp=self._clock,
+                    src=src_ip,
+                    dst=dst_ip,
+                    protocol=protocol,
+                    dst_port=dst_port,
+                    payload_size=len(payload),
+                    success=reachable,
+                    metadata=merged_metadata,
+                )
+            )
         if not reachable:
             self.stats["tcp_failures"] += 1
             return None
         assert entry is not None and entry.tcp is not None
         return entry.tcp.handle_tcp_connect(src_ip, dst_port, payload, self)
+
+
+class DnsChannel:
+    """A pinned (src, dst) DNS path with destination lookups hoisted out.
+
+    Each batched-engine lane opens one channel to its nameserver and
+    sends the whole burst through it, amortizing the host-entry and
+    fault-profile resolution that :meth:`SimulatedInternet.query_dns`
+    performs per call.  Cached lookups revalidate against the network's
+    topology generation, which is bumped on every host registration and
+    fault-profile change — so channels can never serve a stale host or
+    miss a newly installed chaos window.  (``set_online`` mutates the
+    cached entry in place and needs no bump.)
+    """
+
+    __slots__ = (
+        "network",
+        "src_ip",
+        "dst_ip",
+        "_generation",
+        "_entry",
+        "_windows",
+        "_static",
+    )
+
+    def __init__(
+        self, network: SimulatedInternet, src_ip: str, dst_ip: str
+    ):
+        self.network = network
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self._generation = -1
+        self._entry: Optional[_HostEntry] = None
+        self._windows: Sequence[FaultProfile] = ()
+        self._static: Optional[FaultProfile] = None
+
+    def _refresh(self) -> None:
+        network = self.network
+        self._entry = network._hosts.get(self.dst_ip)
+        self._windows = network._fault_windows.get(self.dst_ip, ())
+        self._static = network._fault_profile(self.dst_ip)
+        self._generation = network._topology_generation
+
+    def query(self, query: Message, transport: str = "udp") -> Message:
+        """Exactly :meth:`SimulatedInternet.query_dns` over this path."""
+        network = self.network
+        if self._generation != network._topology_generation:
+            self._refresh()
+        return network._transact(
+            self.src_ip,
+            self.dst_ip,
+            self._entry,
+            self._windows,
+            self._static,
+            query,
+            transport,
+        )
+
+    def query_auto(self, query: Message) -> Message:
+        """UDP first; on a truncated response, retry over TCP."""
+        response = self.query(query, "udp")
+        if response.header.truncated:
+            response = self.query(query, "tcp")
+        return response

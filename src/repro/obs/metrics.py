@@ -30,8 +30,10 @@ from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 #: bumped whenever the metrics.json layout changes
 #: (v2: ``shed`` counters in the scan-engine block and the optional
-#: ``resilience`` deterministic section)
-METRICS_FORMAT_VERSION = 2
+#: ``resilience`` deterministic section; v3: optional ``scan_path``
+#: timing block — cache hit rates depend on the scan-cache/capture-mode
+#: knobs, so they live outside the byte-compared section)
+METRICS_FORMAT_VERSION = 3
 
 
 @runtime_checkable
@@ -114,6 +116,7 @@ def build_metrics_document(
     stage2_workers: Optional[int] = None,
     channel_depth: Optional[int] = None,
     flow_metrics: Any = None,
+    scan_path: Any = None,
 ) -> Dict[str, Any]:
     """Assemble the consolidated ``metrics.json`` document.
 
@@ -179,6 +182,10 @@ def build_metrics_document(
         timing["stage2_exclusion"] = stage2.timing_dict()
     if flow_metrics is not None:
         timing["flow_channels"] = flow_metrics.to_dict()
+    if scan_path is not None:
+        # hit/miss tallies vary with --no-scan-cache/--capture-mode,
+        # which by contract leave the deterministic section untouched
+        timing["scan_path"] = scan_path.to_dict()
 
     return {
         "format": METRICS_FORMAT_VERSION,

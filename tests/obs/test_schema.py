@@ -21,9 +21,12 @@ from repro.obs import METRICS_FORMAT_VERSION, TRACE_FORMAT_VERSION
 
 #: pinned versions — bump deliberately, with a changelog entry
 #: (v2: resilience layer — shed counters, hedge/aimd/budget events,
-#: optional "resilience" deterministic metrics section)
+#: optional "resilience" deterministic metrics section;
+#: metrics v3: optional "scan_path" timing block — cache hit/miss
+#: tallies vary with the fast-lane knobs, so they are timing, never
+#: deterministic)
 PINNED_TRACE_FORMAT = 2
-PINNED_METRICS_FORMAT = 2
+PINNED_METRICS_FORMAT = 3
 
 #: every run.end must account for queries with exactly these counters
 RUN_END_REQUIRED = {
