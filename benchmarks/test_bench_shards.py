@@ -1,0 +1,159 @@
+"""Benchmark: the shard runner's parallel headroom and overhead.
+
+The shard runner's performance claim is a *scheduling* claim: the
+round-robin partition of nameserver groups into shards is balanced
+enough that executing shards across K workers divides the scan's
+virtual cost by nearly K.  CI containers pin a single core, so the
+gate is computed on the simulated clock — per-group virtual elapsed is
+deterministic and proportional to the real per-group work (queries,
+pacing, retries), making it a noise-free stand-in for wall time:
+
+* ``serial_s`` — the summed virtual cost of every nameserver group,
+  i.e. one worker draining all shards back to back;
+* ``makespan_s`` — greedy least-loaded assignment of the shards to 4
+  workers; the gate asserts ``serial / makespan >= 1.5`` at the
+  largest size (the measured figure is close to the worker count);
+* real wall clock for the legacy in-line scan vs the in-process shard
+  path rides along informationally — sharding must not make the
+  single-process scan meaningfully slower.
+
+Results land in ``BENCH_shards.json`` at the repo root so CI can track
+the trajectory across commits.
+"""
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+from repro.core import HunterConfig, URHunter
+from repro.plan.shards import run_group_isolated
+from repro.scenario import ScenarioConfig, build_world, small_config
+
+from .conftest import banner
+
+#: scenario scale per step: (label, config factory)
+SIZES = [
+    ("small", lambda: small_config(seed=7)),
+    ("default", lambda: ScenarioConfig(seed=7)),
+]
+#: shards to partition into and workers to schedule them onto
+SHARDS = 8
+WORKERS = 4
+#: minimum simulated-clock speedup at the largest size (CI gate)
+SPEEDUP_FLOOR = 1.5
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shards.json"
+
+
+def _group_costs(scenario_factory):
+    """Virtual elapsed per nameserver group, plus the plan."""
+    world = build_world(scenario_factory())
+    hunter = URHunter.from_world(
+        world, HunterConfig(shards=SHARDS)
+    )
+    plan = hunter.plan
+    epoch = hunter.network.now
+    base_seed = getattr(hunter.network, "fault_seed", 0)
+    costs = {
+        group.index: run_group_isolated(
+            hunter.network,
+            hunter.config,
+            plan,
+            group,
+            hunter.collector.urs_from_outcome,
+            epoch,
+            base_seed,
+        ).elapsed
+        for group in plan.groups
+    }
+    return plan, costs
+
+
+def _greedy_makespan(shard_costs, workers):
+    """Least-loaded-worker assignment, in shard-index order."""
+    loads = [0.0] * workers
+    for cost in shard_costs:
+        loads[loads.index(min(loads))] += cost
+    return max(loads)
+
+
+def _stage1_wall(scenario_factory, config):
+    world = build_world(scenario_factory())
+    hunter = URHunter.from_world(world, config)
+    start = time.perf_counter()
+    hunter.stage1_collect()
+    return time.perf_counter() - start
+
+
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def test_shard_runner_headroom():
+    labels, serials, makespans, speedups = [], [], [], []
+    walls_legacy, walls_sharded, hashes = [], [], []
+    banner(
+        f"shard runner: serial virtual cost vs {WORKERS}-worker makespan"
+    )
+    for label, factory in SIZES:
+        plan, costs = _group_costs(factory)
+        shard_costs = [
+            sum(costs[group.index] for group in shard.groups)
+            for shard in plan.shard(SHARDS)
+        ]
+        serial = sum(shard_costs)
+        makespan = _greedy_makespan(shard_costs, WORKERS)
+        speedup = serial / makespan if makespan > 0 else float("inf")
+        wall_legacy = _stage1_wall(factory, HunterConfig())
+        wall_sharded = _stage1_wall(
+            factory, HunterConfig(shards=SHARDS)
+        )
+        labels.append(label)
+        serials.append(round(serial, 4))
+        makespans.append(round(makespan, 4))
+        speedups.append(round(speedup, 2))
+        walls_legacy.append(round(wall_legacy, 4))
+        walls_sharded.append(round(wall_sharded, 4))
+        hashes.append(plan.plan_hash)
+        print(
+            f"  {label:>8}  groups {len(plan.groups):3d}  "
+            f"serial {serial:8.1f}s  makespan {makespan:8.1f}s  "
+            f"speedup {speedup:5.2f}x"
+        )
+        print(
+            f"  {'':>8}  wall: legacy {wall_legacy * 1000:8.1f}ms  "
+            f"sharded {wall_sharded * 1000:8.1f}ms"
+        )
+    payload = {
+        "timestamp": time.time(),
+        "git_rev": _git_rev(),
+        "sizes": labels,
+        "shards": SHARDS,
+        "workers": WORKERS,
+        "plan_hash": hashes,
+        "serial_s": serials,
+        "makespan_s": makespans,
+        "speedup": speedups,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "wall_legacy_s": walls_legacy,
+        "wall_sharded_s": walls_sharded,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    print(
+        f"\nwrote {OUTPUT.name}: largest-size speedup "
+        f"{speedups[-1]:.2f}x over {WORKERS} workers"
+    )
+    # the partition must keep the workers busy at the largest size
+    assert speedups[-1] >= SPEEDUP_FLOOR

@@ -12,6 +12,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``chaos``      — replay chaos scenarios through the robustness
   invariant checker (all bundled scripts, or one via
   ``--chaos-script``);
+* ``plan``       — print the deterministic stage-1 scan-plan summary
+  (unit counts, nameserver groups, shard partition) without running
+  a single query;
 * ``trace summarize FILE`` — render a ``--trace-out`` JSONL as a
   per-stage span tree with event counters.
 
@@ -26,6 +29,10 @@ run in virtual seconds (exhausted budgets shed remaining queries into
 the loss ledger), ``--hedge-delay`` turns the first retry into a fast
 hedge, ``--aimd`` adapts send rate to timeout signals, and
 ``--chaos-script`` applies a declarative fault scenario before the run.
+
+Sharding options: ``--shards N`` partitions the stage-1 UR scan into N
+isolated shards (byte-identical report), ``--shard-workers K`` executes
+them across K worker processes.
 
 Observability options: ``--trace-out PATH`` streams the run's event bus
 (:mod:`repro.obs`) to a JSONL file, ``--metrics-out PATH`` writes the
@@ -236,6 +243,30 @@ def build_parser() -> argparse.ArgumentParser:
             "(omit for stage checkpoints only; N must be >= 1)"
         ),
     )
+    sharding = parser.add_argument_group(
+        "sharding", "stage-1 scan-plan partitioning and worker pool"
+    )
+    sharding.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "partition the UR scan's nameserver groups into N isolated "
+            "shards; the merged report is byte-identical to an "
+            "unsharded run (omit for the legacy in-line scan)"
+        ),
+    )
+    sharding.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "execute shards across K worker processes (default 1: all "
+            "shards run in this process; needs --shards)"
+        ),
+    )
     stage2 = parser.add_argument_group(
         "stage 2", "exclusion-stage parallelism and caching"
     )
@@ -396,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
             "defenses",
             "validate",
             "chaos",
+            "plan",
         ),
         help="what to produce",
     )
@@ -424,6 +456,8 @@ def _hunter_config(args: argparse.Namespace) -> HunterConfig:
         aimd=args.aimd,
         scan_cache=not args.no_scan_cache,
         capture_mode=args.capture_mode,
+        shards=args.shards or 0,
+        shard_workers=args.shard_workers or 1,
     )
     if args.mx:
         config.query_types = (RRType.A, RRType.TXT, RRType.MX)
@@ -515,6 +549,8 @@ def _write_metrics(
         execution=args.execution,
         stage2_workers=args.stage2_workers,
         channel_depth=args.channel_depth,
+        shards=args.shards or 0,
+        shard_workers=args.shard_workers or 1,
         flow_metrics=(
             flow_stats.to_metrics() if flow_stats is not None else None
         ),
@@ -580,6 +616,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         ("--run-deadline", args.run_deadline),
         ("--stage-deadline", args.stage_deadline),
         ("--hedge-delay", args.hedge_delay),
+        ("--shards", args.shards),
+        ("--shard-workers", args.shard_workers),
     ):
         if value is not None and value <= 0:
             reporter.error(
@@ -619,6 +657,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_OK
 
     hunter = URHunter.from_world(world, hunter_config)
+
+    if args.command == "plan":
+        # pure plan inspection: the plan was built in the constructor,
+        # before any packet moved — print and leave
+        print(hunter.plan.summary(shards=hunter_config.shards or 1))
+        return EXIT_OK
+
     try:
         _apply_faults(args, world, hunter)
     except ValueError as error:
@@ -639,6 +684,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             return EXIT_USAGE
         reporter.info(
             f"# chaos: {script.name} ({installed} fault bindings)"
+        )
+
+    if hunter_config.shards > 0 and hunter_config.shard_workers > 1:
+        # hand the shard pool a picklable recipe to rebuild this exact
+        # world (scenario + loss faults + chaos) in worker processes
+        from .plan.pool import WorldSpec
+
+        hunter.world_spec = WorldSpec(
+            scenario=_scenario(args),
+            loss_rate=args.loss_rate or 0.0,
+            loss_seed=args.seed,
+            chaos_script=args.chaos_script or None,
         )
 
     trace = RunTrace(args.trace_out) if args.trace_out else None

@@ -205,6 +205,12 @@ class ResponseCollector:
         #: optional repro.obs.RunTrace — each completed collection phase
         #: is emitted as a deterministic ``collect.phase`` event
         self.trace = None
+        #: optional :class:`repro.plan.scanplan.ScanPlan` — when set,
+        #: all three collections materialize their task lists from the
+        #: plan's pre-enumerated (and pre-shuffled) units instead of
+        #: generating queries inline; ``build_plan`` reproduces the
+        #: inline enumeration draw for draw, so outputs are identical
+        self.plan = None
 
     def emit_phase(self, phase: str) -> None:
         """Emit the completion event of one collection phase.
@@ -357,6 +363,8 @@ class ResponseCollector:
         modes share: the batch path drains outcomes in this order, the
         streaming path re-establishes it with a reorder buffer.
         """
+        if self.plan is not None:
+            return self.plan.tasks("ur")
         tasks: List[QueryTask] = []
         for nameserver in nameservers:
             for target in domains:
@@ -454,21 +462,24 @@ class ResponseCollector:
         database.  Manipulated resolvers contribute noise — exactly the
         imperfection the paper's vantage-point selection tolerates.
         """
-        tasks: List[QueryTask] = []
-        for resolver_ip in open_resolver_ips:
-            for target in domains:
-                for qtype in self.query_types:
-                    tasks.append(
-                        QueryTask(
-                            server_ip=resolver_ip,
-                            qname=target.domain,
-                            qtype=qtype,
-                            stage="correct",
-                            recursion_desired=True,
-                            tag=target,
+        if self.plan is not None:
+            tasks = self.plan.tasks("correct")
+        else:
+            tasks = []
+            for resolver_ip in open_resolver_ips:
+                for target in domains:
+                    for qtype in self.query_types:
+                        tasks.append(
+                            QueryTask(
+                                server_ip=resolver_ip,
+                                qname=target.domain,
+                                qtype=qtype,
+                                stage="correct",
+                                recursion_desired=True,
+                                tag=target,
+                            )
                         )
-                    )
-        self.rng.shuffle(tasks)
+            self.rng.shuffle(tasks)
         successes = 0
         for outcome in self.engine.execute(tasks):
             response = outcome.response
@@ -506,16 +517,19 @@ class ResponseCollector:
             )
             for nameserver in nameservers
         }
-        tasks = [
-            QueryTask(
-                server_ip=nameserver.address,
-                qname=probe_domain,
-                qtype=qtype,
-                stage="protective",
-            )
-            for nameserver in nameservers
-            for qtype in self.query_types
-        ]
+        if self.plan is not None:
+            tasks = self.plan.tasks("protective")
+        else:
+            tasks = [
+                QueryTask(
+                    server_ip=nameserver.address,
+                    qname=probe_domain,
+                    qtype=qtype,
+                    stage="protective",
+                )
+                for nameserver in nameservers
+                for qtype in self.query_types
+            ]
         for outcome in self.engine.execute(tasks):
             response = outcome.response
             if response is None:

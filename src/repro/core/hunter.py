@@ -47,6 +47,8 @@ from ..obs.events import (
 )
 from ..pipeline.errors import SourceError
 from ..pipeline.resilience import SourceHealth, merge_health
+from ..plan.scanplan import ScanPlan, build_plan
+from ..plan.shards import ReducedOutcome, run_shard_scan
 from ..resilience import AimdController, DeadlineBudget, HedgeController
 from ..sandbox.ids import Severity
 from ..sandbox.sandbox import SandboxReport
@@ -64,7 +66,7 @@ from .correctness import (
     UniformityChecker,
 )
 from .parallel import Stage2Metrics
-from .records import ClassifiedUR, UndelegatedRecord
+from .records import ClassifiedUR, UndelegatedRecord, dedupe_urs
 from .report import DegradedSources, MeasurementReport, ReportAccumulator
 from .suspicion import SuspicionFilter, SuspicionOutcome
 
@@ -205,6 +207,15 @@ class HunterConfig:
     #: "sampled" every Nth per protocol, "off" only counts (sandbox
     #: detonation happens at world build and always captures in full)
     capture_mode: str = "full"
+    #: shard-mode stage 1: partition the UR scan's nameserver groups
+    #: into this many shards, each executed in clock/RNG isolation and
+    #: merged back into one byte-identical report (0 = legacy in-line
+    #: scan; see repro.plan)
+    shards: int = 0
+    #: worker processes executing shards concurrently (1 = run every
+    #: shard in this process; >1 needs a picklable world recipe, which
+    #: the CLI provides)
+    shard_workers: int = 1
 
     #: knobs that do not change *what* the pipeline computes, only how
     #: fast — excluded from the checkpoint fingerprint so a run may be
@@ -218,6 +229,8 @@ class HunterConfig:
             "channel_depth",
             "scan_cache",
             "capture_mode",
+            "shards",
+            "shard_workers",
         }
     )
 
@@ -284,6 +297,12 @@ class HunterConfig:
             raise ValueError(
                 f"unknown capture_mode {self.capture_mode!r} "
                 "(known: full, sampled, off)"
+            )
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0, got {self.shards}")
+        if self.shard_workers < 1:
+            raise ValueError(
+                f"shard_workers must be >= 1, got {self.shard_workers}"
             )
 
     def engine_policy(self) -> EnginePolicy:
@@ -400,6 +419,25 @@ class URHunter:
             query_types=self.config.query_types,
             engine=self.engine,
         )
+        #: the stage-1 scan plan of the *configured* targets; a pure
+        #: value of (world, config), built before any packet moves —
+        #: its hash is the identity checkpoints and traces stamp.
+        #: (pdns expansion may grow the executed plan at run time; see
+        #: :meth:`_executed_plan`)
+        self.plan: ScanPlan = build_plan(
+            self.nameservers,
+            self.domains,
+            self.delegated_to,
+            self.open_resolver_ips,
+            self.config,
+        )
+        #: picklable world recipe for the process-pool shard runner
+        #: (set by the CLI when ``--shard-workers`` > 1; None keeps
+        #: pooled execution off and shards run in this process)
+        self.world_spec = None
+        #: checkpoint store granting per-shard partial persistence
+        #: (set by the pipeline runner when sharding is on)
+        self.shard_store = None
         # Populated by run(); kept for inspection and tests.
         self.correct_db: Optional[CorrectRecordDatabase] = None
         self.last_filter: Optional[SuspicionFilter] = None
@@ -422,6 +460,8 @@ class URHunter:
         self.trace = trace
         self.engine.trace = trace
         self.collector.trace = trace
+        if trace is not None:
+            trace.bind_plan(self.plan.plan_hash)
 
     def _emit(self, name: str, stage: Optional[str] = None, **fields) -> None:
         if self.trace is not None:
@@ -431,7 +471,9 @@ class URHunter:
         # lazy import: repro.pipeline.checkpoint imports this module
         from ..pipeline.checkpoint import config_fingerprint
 
-        return config_fingerprint(self.config)
+        return config_fingerprint(
+            self.config, extra={"plan": self.plan.plan_hash}
+        )
 
     @classmethod
     def from_world(
@@ -472,6 +514,43 @@ class URHunter:
                 notes.append(f"pdns-expansion-skipped:{error.source}")
         return domains
 
+    def _executed_plan(self, domains: Sequence[DomainTarget]) -> ScanPlan:
+        """The plan stage 1 actually executes.
+
+        Identical to :attr:`plan` unless pdns expansion grew the target
+        list at run time — in which case the plan is rebuilt over the
+        expanded targets (still a pure function of the expanded world,
+        so both execution modes and every shard count agree on it).
+        """
+        if list(domains) == self.domains:
+            return self.plan
+        return build_plan(
+            self.nameservers,
+            domains,
+            self.delegated_to,
+            self.open_resolver_ips,
+            self.config,
+        )
+
+    def _plan_built(self, plan: ScanPlan) -> None:
+        """Emit the deterministic ``plan.built`` event.
+
+        Emitted in every run — sharded or not — so the deterministic
+        trace section stays byte-identical across ``--shards`` values.
+        (The shard count itself is deliberately absent: it is a
+        performance knob, like worker counts.)
+        """
+        counts = plan.unit_counts()
+        self._emit(
+            "plan.built",
+            stage=OBS_STAGE1,
+            hash=plan.plan_hash,
+            groups=len(plan.groups),
+            protective=counts["protective"],
+            correct=counts["correct"],
+            ur=counts["ur"],
+        )
+
     def stage1_collect(self) -> Stage1Result:
         """Stage 1: all three collections through the scan engine.
 
@@ -489,15 +568,21 @@ class URHunter:
         )
         notes: List[str] = []
         domains = self._expanded_domains(notes)
+        plan = self._executed_plan(domains)
+        self._plan_built(plan)
+        self.collector.plan = plan
         correct_db = CorrectRecordDatabase(self.ipinfo)
-        collection = self.collector.collect_all(
-            self.nameservers,
-            domains,
-            self.delegated_to,
-            self.open_resolver_ips,
-            correct_db,
-            probe_domain=self.config.probe_domain,
-        )
+        if self.config.shards > 0:
+            collection = self._collect_sharded(domains, correct_db, plan)
+        else:
+            collection = self.collector.collect_all(
+                self.nameservers,
+                domains,
+                self.delegated_to,
+                self.open_resolver_ips,
+                correct_db,
+                probe_domain=self.config.probe_domain,
+            )
         self.correct_db = correct_db
         self._emit("stage.end", stage=OBS_STAGE1, **_stage1_end(collection))
         return Stage1Result(
@@ -505,6 +590,60 @@ class URHunter:
             now=collection.classification_epoch,
             notes=tuple(notes),
         )
+
+    def _collect_sharded(
+        self,
+        domains: Sequence[DomainTarget],
+        correct_db: CorrectRecordDatabase,
+        plan: ScanPlan,
+    ) -> CollectionResult:
+        """Shard-mode stage 1: eager preamble, then the shard runner.
+
+        The protective and correct collections are whole-corpus inputs
+        shared by every shard, so they run once in the parent (exactly
+        as the streaming mode's preamble does); the UR scan is then
+        executed group by group through :func:`repro.plan.shards`.
+        """
+        preamble = self.collector.collect_preamble(
+            self.nameservers,
+            domains,
+            self.open_resolver_ips,
+            correct_db,
+            probe_domain=self.config.probe_domain,
+        )
+        outcomes = run_shard_scan(
+            self, plan, preamble.classification_epoch
+        )
+        return self._fold_shard_outcomes(outcomes, preamble)
+
+    def _fold_shard_outcomes(
+        self,
+        outcomes: Sequence[ReducedOutcome],
+        preamble,
+    ) -> CollectionResult:
+        """Assemble the batch-shape :class:`CollectionResult` from the
+        merged shard outcomes (already sorted in global plan order)."""
+        collected: List[UndelegatedRecord] = []
+        attempts = 0
+        responses = 0
+        for outcome in outcomes:
+            attempts += outcome.attempts
+            if outcome.answered:
+                responses += 1
+            collected.extend(outcome.urs)
+        # same emission point as the in-line path: the UR phase counters
+        # were merged into the parent engine ledger by the shard runner
+        self.collector.emit_phase("ur")
+        result = CollectionResult(
+            undelegated=dedupe_urs(collected),
+            queries_sent=attempts,
+            responses_seen=responses,
+            # every sent attempt either answered or timed out
+            timeouts=attempts - responses,
+        )
+        preamble.fold_into(result)
+        result.metrics = self.engine.metrics
+        return result
 
     def stage2_exclude(
         self, stage1: Stage1Result, validate: bool = True
@@ -725,6 +864,9 @@ class URHunter:
         )
         notes: List[str] = []
         domains = self._expanded_domains(notes)
+        plan = self._executed_plan(domains)
+        self._plan_built(plan)
+        self.collector.plan = plan
         correct_db = CorrectRecordDatabase(self.ipinfo)
         preamble = self.collector.collect_preamble(
             self.nameservers,
@@ -739,10 +881,20 @@ class URHunter:
         tasks = self.collector.build_ur_tasks(
             self.nameservers, domains, self.delegated_to
         )
+        # Shard mode runs the UR scan eagerly through the shard runner
+        # (it must own clock/RNG isolation); the collector node then
+        # streams the pre-reduced outcomes instead of driving the
+        # engine, and everything downstream is unchanged.
+        payloads = None
+        if self.config.shards > 0:
+            payloads = run_shard_scan(
+                self, plan, preamble.classification_epoch
+            )
         flow = run_pipeline_flow(
             collector=self.collector,
             tasks=tasks,
             preamble=preamble,
+            payloads=payloads,
             suspicion=suspicion,
             analyzer=analyzer,
             now=preamble.classification_epoch,

@@ -102,7 +102,11 @@ class RecursiveResolver:
     # -- DnsService protocol ---------------------------------------------
 
     def handle_dns_query(
-        self, query: Message, src_ip: str, network: object
+        self,
+        query: Message,
+        src_ip: str,
+        network: object,
+        query_key: object = None,
     ) -> Optional[Message]:
         self.stats.queries_received += 1
         if not query.questions:

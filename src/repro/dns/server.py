@@ -151,14 +151,24 @@ class AuthoritativeServer:
     # -- DnsService protocol -------------------------------------------------
 
     def handle_dns_query(
-        self, query: Message, src_ip: str, network: object
+        self,
+        query: Message,
+        src_ip: str,
+        network: object,
+        query_key: object = None,
     ) -> Optional[Message]:
-        """Answer one query.  Implements :class:`~repro.net.network.DnsService`."""
+        """Answer one query.  Implements :class:`~repro.net.network.DnsService`.
+
+        ``query_key`` is the structural key the transport's memoized
+        codec computed for this query (None when the codec missed or
+        the fast lane is off); the compiled-answer cache shares its
+        structure.
+        """
         self.query_count += 1
         if not query.questions:
             return query.make_response(rcode=Rcode.FORMERR)
         if getattr(network, "scan_cache_enabled", False):
-            return self._answer_compiled(query, network)
+            return self._answer_compiled(query, network, query_key)
         question = query.questions[0]
         zone = self.zone_for(question.qname)
         if zone is None:
@@ -168,7 +178,7 @@ class AuthoritativeServer:
     # -- internals -----------------------------------------------------------
 
     def _answer_compiled(
-        self, query: Message, network: object
+        self, query: Message, network: object, query_key: object = None
     ) -> Message:
         """The fast lane: serve a prebuilt answer when one is still valid.
 
@@ -185,9 +195,9 @@ class AuthoritativeServer:
         which server refused it, and a scan sends the same question to
         many servers.
         """
-        # the transport computed this exact key for its own query cache
-        # (read before any reentrant handler can overwrite it)
-        key = getattr(network, "_last_query_key", None)
+        # the transport threads the exact key its own query cache
+        # computed; recompute only when it missed
+        key = query_key
         if key is None:
             key = (
                 query.header.flags_word(),

@@ -99,17 +99,25 @@ def run_pipeline_flow(
     resume_entries: Sequence[ClassifiedUR] = (),
     segment_start: int = 0,
     trace=None,
+    payloads: Optional[Sequence] = None,
 ) -> FlowResult:
     """Assemble and pump the four-node pipeline graph.
 
     The caller (``URHunter.run_flow``) has already run the stage-1
     preamble (protective + correct collections) and built the stage-2
     filter and stage-3 analyzer; this function owns only the dataflow.
+
+    ``payloads`` switches the collector node to pre-reduced mode: a
+    sequence of :class:`repro.plan.shards.ReducedOutcome` (from the
+    shard runner) is streamed instead of driving the scan engine —
+    everything downstream of the records channel is identical.
     """
     records: Channel = Channel("records", channel_depth)
     classified: Channel = Channel("classified", channel_depth)
     reported: Channel = Channel("reported", channel_depth)
-    source = CollectorNode(collector, tasks, preamble, records)
+    source = CollectorNode(
+        collector, tasks, preamble, records, payloads=payloads
+    )
     exclude = SuspicionNode(
         suspicion,
         now,

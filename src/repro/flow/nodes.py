@@ -65,7 +65,7 @@ from ..core.report import ReportAccumulator
 from ..core.suspicion import SuspicionFilter, UrKey
 from ..core.txt import classify_txt
 from ..dns.rdata import RRType
-from ..engine.api import QueryOutcome, QueryTask
+from ..engine.api import QueryTask
 from ..pipeline.errors import CheckpointError
 from .channel import Channel
 
@@ -158,11 +158,21 @@ class CollectorNode(StageNode):
         tasks: Sequence[QueryTask],
         preamble: CollectionPreamble,
         outbox: Channel,
+        payloads: Optional[Sequence] = None,
     ):
         self.collector = collector
         self.preamble = preamble
         self.outbox = outbox
-        self._iter = collector.iter_ur_outcomes(tasks)
+        # ``payloads`` (shard mode) streams pre-reduced outcomes — the
+        # shard runner already executed the scan and merged the engine
+        # metrics, so the node only re-establishes record order.
+        self._reduced = payloads is not None
+        if payloads is not None:
+            self._iter = iter(
+                [(outcome.index, outcome) for outcome in payloads]
+            )
+        else:
+            self._iter = collector.iter_ur_outcomes(tasks)
         #: completed-but-early outcomes, reduced to UR lists
         self._reorder: Dict[int, List[UndelegatedRecord]] = {}
         self._next_index = 0
@@ -187,12 +197,15 @@ class CollectorNode(StageNode):
             progress = True
         return progress
 
-    def _ingest(self, index: int, outcome: QueryOutcome) -> None:
+    def _ingest(self, index: int, outcome) -> None:
         # wire counters are order-independent sums — fold at arrival
         self._attempts += outcome.attempts
         if outcome.answered:
             self._responses += 1
-        self._reorder[index] = self.collector.urs_from_outcome(outcome)
+        if self._reduced:
+            self._reorder[index] = list(outcome.urs)
+        else:
+            self._reorder[index] = self.collector.urs_from_outcome(outcome)
         while self._next_index in self._reorder:
             for record in self._reorder.pop(self._next_index):
                 if record.key in self._seen:

@@ -43,7 +43,11 @@ class DnsService(TypingProtocol):
     """
 
     def handle_dns_query(
-        self, query: Message, src_ip: str, network: "SimulatedInternet"
+        self,
+        query: Message,
+        src_ip: str,
+        network: "SimulatedInternet",
+        query_key: object = None,
     ) -> Optional[Message]:
         ...
 
@@ -155,10 +159,6 @@ class SimulatedInternet:
         #: memoization).  Output is byte-identical either way; the naive
         #: path is kept as the correctness reference (--no-scan-cache).
         self.scan_cache_enabled = True
-        #: the structural key of the query currently in flight, set by
-        #: :meth:`_transact` immediately before the handler call (and
-        #: read by the server at handler entry, before any reentrancy)
-        self._last_query_key = None
         #: network-wide pool of unhosted-REFUSED answer templates: the
         #: same REFUSED body goes out whichever server is probed, so the
         #: per-server compiled caches share one pool for them
@@ -180,6 +180,9 @@ class SimulatedInternet:
         self._server_faults: Dict[str, FaultProfile] = {}
         self._fault_windows: Dict[str, List[FaultProfile]] = {}
         self._fault_rng = random.Random(0)
+        #: the base seed the fault RNG was last (re)seeded from — the
+        #: anchor the shard runner derives its per-group seeds from
+        self.fault_seed = 0
         #: bumped whenever the host registry or fault profiles change;
         #: DnsChannel instances revalidate their cached lookups against it
         self._topology_generation = 0
@@ -202,6 +205,7 @@ class SimulatedInternet:
         )
         self._global_faults = profile if profile.active else None
         self._fault_rng = random.Random(seed)
+        self.fault_seed = seed
         self._topology_generation += 1
 
     def set_server_faults(
@@ -240,6 +244,7 @@ class SimulatedInternet:
     def seed_faults(self, seed: int) -> None:
         """Re-seed the fault RNG (scenario scripts pin their own seed)."""
         self._fault_rng = random.Random(seed)
+        self.fault_seed = seed
 
     def clear_faults(self) -> None:
         """Remove every injected fault profile."""
@@ -281,6 +286,20 @@ class SimulatedInternet:
         if seconds < 0:
             raise ValueError("time cannot move backwards")
         self._clock += seconds
+        return self._clock
+
+    def set_clock(self, seconds: float) -> float:
+        """Pin the virtual clock to an absolute time.
+
+        The shard runner's isolation primitive: every nameserver group
+        starts at the classification epoch, and the parent clock is
+        advanced to ``epoch + makespan`` afterwards.  Unlike
+        :meth:`tick` this may move the clock backwards — it rewinds to
+        a previously observed instant, it never invents time.
+        """
+        if seconds < 0:
+            raise ValueError(f"clock must be >= 0, got {seconds}")
+        self._clock = float(seconds)
         return self._clock
 
     # -- host registry ------------------------------------------------------
@@ -438,15 +457,15 @@ class SimulatedInternet:
                     )
         fast = self.scan_cache_enabled
         cached = self.codec.query_hit(query) if fast else None
+        query_key = None
         if cached is not None:
             # the first occurrence of this (flags, question) shape
             # proved decode(encode(q)) == q, so the original message
             # stands in for its own decode; the key is threaded to the
             # server's compiled cache, which shares its structure
-            wire, self._last_query_key = cached
+            wire, query_key = cached
             decoded_query = query
         else:
-            self._last_query_key = None
             wire = encode_message(query)
             try:
                 decoded_query = decode_message(wire)
@@ -455,7 +474,9 @@ class SimulatedInternet:
                 raise NetworkError(f"query failed to encode cleanly: {exc}")
             if fast:
                 self.codec.query_store(query, wire)
-        response = entry.dns.handle_dns_query(decoded_query, src_ip, self)
+        response = entry.dns.handle_dns_query(
+            decoded_query, src_ip, self, query_key=query_key
+        )
         if response is None:
             stats["dns_timeouts"] += 1
             record_failure()

@@ -46,8 +46,10 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 #: bumped whenever the JSONL layout or canonical ordering changes
 #: (v2: resilience events — hedge.*, aimd.cut, budget.exhausted — and
-#: the ``shed`` counter on run.end)
-TRACE_FORMAT_VERSION = 2
+#: the ``shed`` counter on run.end; v3: the scan-plan hash in the
+#: header when a plan is bound, the ``plan.built`` deterministic event,
+#: and the ``shard.*`` timing events)
+TRACE_FORMAT_VERSION = 3
 
 #: logical stage tags — string-equal to the pipeline runner's stage
 #: names so checkpoints, failure provenance, and trace events share one
@@ -146,6 +148,17 @@ class RunTrace:
         self.sink_path = Path(sink_path) if sink_path is not None else None
         self._events: List[TraceEvent] = []
         self._timing: List[TraceEvent] = []
+        self._plan_hash: Optional[str] = None
+
+    def bind_plan(self, plan_hash: str) -> None:
+        """Stamp the scan-plan content hash into the trace header.
+
+        The hash is a pure function of (world, config), so stamping it
+        keeps the header byte-identical across shard counts, worker
+        counts, engines, and execution modes — while proving which scan
+        the trace describes.
+        """
+        self._plan_hash = plan_hash
 
     # -- emission ----------------------------------------------------------
 
@@ -184,6 +197,20 @@ class RunTrace:
             out.append(payload)
         return out
 
+    def raw_events(
+        self,
+    ) -> List[Tuple[str, Optional[str], Dict[str, Any]]]:
+        """Deterministic events as (name, stage, fields), emission order.
+
+        The shard runner buffers a group engine's events on a private
+        trace and replays them into the parent via :meth:`emit`; raw
+        tuples (not canonicalized dicts) keep the replay loss-free.
+        """
+        return [
+            (event.name, event.stage, dict(event.fields))
+            for event in self._events
+        ]
+
     def counters(self) -> Dict[str, int]:
         """Occurrence count per deterministic event name."""
         counts: Dict[str, int] = {}
@@ -198,7 +225,13 @@ class RunTrace:
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def header(self) -> Dict[str, Any]:
-        return {"event": "trace.header", "format": TRACE_FORMAT_VERSION}
+        payload: Dict[str, Any] = {
+            "event": "trace.header",
+            "format": TRACE_FORMAT_VERSION,
+        }
+        if self._plan_hash is not None:
+            payload["plan"] = self._plan_hash
+        return payload
 
     def deterministic_lines(self) -> List[str]:
         """The byte-compared surface: header + canonical events."""

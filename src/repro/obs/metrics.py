@@ -115,6 +115,8 @@ def build_metrics_document(
     execution: Optional[str] = None,
     stage2_workers: Optional[int] = None,
     channel_depth: Optional[int] = None,
+    shards: Optional[int] = None,
+    shard_workers: Optional[int] = None,
     flow_metrics: Any = None,
     scan_path: Any = None,
 ) -> Dict[str, Any]:
@@ -176,6 +178,12 @@ def build_metrics_document(
         context["stage2_workers"] = stage2_workers
     if channel_depth is not None:
         context["channel_depth"] = channel_depth
+    # shard knobs are performance context, like worker counts — the
+    # deterministic section is byte-identical across every value
+    if shards is not None:
+        context["shards"] = shards
+    if shard_workers is not None:
+        context["shard_workers"] = shard_workers
     if context:
         timing["context"] = context
     if stage2 is not None and hasattr(stage2, "timing_dict"):

@@ -50,8 +50,10 @@ from .resilience import SourceHealth
 #: checkpoint format version; bump when the payload schema changes
 #: (v2: stage-1 ``now`` became the classification epoch, stage-2
 #: metrics dropped their wall-clock fields, stream segments added;
-#: v3: ``shed`` joined the per-stage scan counters)
-FORMAT_VERSION = 3
+#: v3: ``shed`` joined the per-stage scan counters; v4: the scan-plan
+#: hash joined the manifest fingerprint and per-shard partial files
+#: were added)
+FORMAT_VERSION = 4
 
 
 # -- generic json helpers ---------------------------------------------------
@@ -471,6 +473,8 @@ class CheckpointStore:
     FAILURE = "failure.json"
     #: incremental stream-segment files: ``stream-seg-00042.json``
     SEGMENT_PREFIX = "stream-seg-"
+    #: per-shard stage-1 partials: ``shard-part-00003.json``
+    SHARD_PREFIX = "shard-part-"
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
@@ -565,6 +569,61 @@ class CheckpointStore:
     def clear_segments(self) -> None:
         """Drop all segments (the full stage checkpoints supersede them)."""
         for path in self.path.glob(f"{self.SEGMENT_PREFIX}*.json"):
+            path.unlink()
+
+    # -- shard partials ------------------------------------------------------
+
+    def _shard_file(self, index: int) -> Path:
+        return self.path / f"{self.SHARD_PREFIX}{index:05d}.json"
+
+    def save_shard_partial(
+        self,
+        index: int,
+        shards: int,
+        plan_hash: str,
+        groups: List[Dict[str, Any]],
+    ) -> None:
+        """Persist one completed shard of the stage-1 UR scan.
+
+        Each partial is stamped with the plan hash and the shard count
+        it was computed under — a shard result is only reusable by a
+        resume running the *same* plan partitioned the *same* way.
+        """
+        self._write(
+            self._shard_file(index),
+            {
+                "shard": index,
+                "shards": shards,
+                "plan": plan_hash,
+                "groups": groups,
+            },
+        )
+
+    def load_shard_partials(
+        self, plan_hash: str, shards: int
+    ) -> Dict[int, List[Dict[str, Any]]]:
+        """All reusable shard partials, keyed by shard index.
+
+        Partials written under a different plan hash or shard count are
+        silently ignored (not an error — the shard runner simply
+        re-executes those shards), so changing ``--shards`` between a
+        crash and a resume degrades to a slower resume, never a wrong
+        one.
+        """
+        out: Dict[int, List[Dict[str, Any]]] = {}
+        for path in sorted(self.path.glob(f"{self.SHARD_PREFIX}*.json")):
+            payload = self._read(path)
+            if payload.get("plan") != plan_hash:
+                continue
+            if payload.get("shards") != shards:
+                continue
+            out[payload["shard"]] = payload["groups"]
+        return out
+
+    def clear_shard_partials(self) -> None:
+        """Drop all shard partials (the stage-1 checkpoint supersedes
+        them)."""
+        for path in self.path.glob(f"{self.SHARD_PREFIX}*.json"):
             path.unlink()
 
     # -- failure provenance ---------------------------------------------------

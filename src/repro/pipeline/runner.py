@@ -116,7 +116,13 @@ class PipelineRunner:
     # -- helpers -----------------------------------------------------------
 
     def _fingerprint(self) -> str:
-        extra: Dict[str, Any] = {}
+        extra: Dict[str, Any] = {
+            # the scan-plan hash pins the planned query matrix: a
+            # checkpoint may only be resumed against the same plan
+            # (shard count and worker count are deliberately NOT part
+            # of it — they are performance knobs)
+            "plan": self.hunter.plan.plan_hash,
+        }
         if self.scenario_fingerprint is not None:
             extra["scenario"] = self.scenario_fingerprint
         return config_fingerprint(self.hunter.config, extra=extra)
@@ -212,6 +218,10 @@ class PipelineRunner:
             )
         if self.store is not None:
             self.store.prepare(self._fingerprint(), resume=self.resume)
+            if self.hunter.config.shards > 0:
+                # grant the shard runner per-shard partial persistence
+                # (a shard completed before a crash is not re-scanned)
+                self.hunter.shard_store = self.store
         self._emit("run.start", fingerprint=self._fingerprint())
         if streaming and not (
             self.resume
@@ -252,6 +262,8 @@ class PipelineRunner:
             executed.append(STAGE1)
             if self.store is not None:
                 self.store.save(STAGE1, encode_stage1(stage1))
+                # the stage-1 snapshot supersedes any shard partials
+                self.store.clear_shard_partials()
                 self._emit("checkpoint.save", stage=STAGE1)
         if stop_after == STAGE1:
             self._emit("run.stopped", after=STAGE1)
@@ -407,6 +419,8 @@ class PipelineRunner:
         executed = (STAGE1, STAGE2, STAGE3)
         if store is not None:
             store.save(STAGE1, encode_stage1(stage1))
+            # the stage-1 snapshot supersedes any shard partials
+            store.clear_shard_partials()
             self._emit("checkpoint.save", stage=STAGE1)
             store.save(STAGE2, encode_stage2(stage2, validated=validate))
             self._emit("checkpoint.save", stage=STAGE2, validated=validate)

@@ -1,0 +1,46 @@
+"""Scan-plan IR: stage 1 as an explicit, shardable, hashable plan.
+
+``build_plan`` turns ``(world targets, HunterConfig)`` into a pure
+:class:`ScanPlan` — every stage-1 query enumerated as a typed
+:class:`QueryUnit`, UR units grouped per nameserver, the whole plan
+content-hashed so checkpoints and traces can prove which scan they
+belong to.  :mod:`repro.plan.shards` executes the plan's groups in
+isolation (locally or resumed from partial checkpoints) and
+:mod:`repro.plan.pool` distributes shards across worker processes.
+"""
+
+from .scanplan import (
+    PLAN_FORMAT_VERSION,
+    NameserverGroup,
+    QueryUnit,
+    ScanPlan,
+    Shard,
+    build_plan,
+)
+from .shards import (
+    CRASH_SHARD_ENV,
+    GroupResult,
+    ReducedOutcome,
+    decode_group_result,
+    encode_group_result,
+    execute_group,
+    fold_resilience,
+    run_shard_scan,
+)
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "NameserverGroup",
+    "QueryUnit",
+    "ScanPlan",
+    "Shard",
+    "build_plan",
+    "CRASH_SHARD_ENV",
+    "GroupResult",
+    "ReducedOutcome",
+    "decode_group_result",
+    "encode_group_result",
+    "execute_group",
+    "fold_resilience",
+    "run_shard_scan",
+]

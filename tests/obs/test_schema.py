@@ -24,8 +24,10 @@ from repro.obs import METRICS_FORMAT_VERSION, TRACE_FORMAT_VERSION
 #: optional "resilience" deterministic metrics section;
 #: metrics v3: optional "scan_path" timing block — cache hit/miss
 #: tallies vary with the fast-lane knobs, so they are timing, never
-#: deterministic)
-PINNED_TRACE_FORMAT = 2
+#: deterministic;
+#: trace v3: scan-plan hash in the header of plan-bound traces, the
+#: "plan.built" deterministic event, and "shard.*" timing events)
+PINNED_TRACE_FORMAT = 3
 PINNED_METRICS_FORMAT = 3
 
 #: every run.end must account for queries with exactly these counters
@@ -133,10 +135,15 @@ class TestVersionPins:
 
 class TestTraceSchema:
     def test_header_line(self, trace_lines):
-        assert trace_lines[0] == {
-            "event": "trace.header",
-            "format": PINNED_TRACE_FORMAT,
-        }
+        header = trace_lines[0]
+        assert header["event"] == "trace.header"
+        assert header["format"] == PINNED_TRACE_FORMAT
+        # CLI runs bind the scan plan, stamping its content hash into
+        # the header; nothing else may appear there
+        assert set(header) <= {"event", "format", "plan"}
+        if "plan" in header:
+            assert len(header["plan"]) == 64
+            int(header["plan"], 16)
 
     def test_every_line_has_an_event_name(self, trace_lines):
         assert all("event" in line for line in trace_lines)

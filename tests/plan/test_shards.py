@@ -1,0 +1,178 @@
+"""Sharded stage-1 equivalence: the merged run is byte-identical.
+
+The acceptance invariant of the shard runner: for every shard count,
+worker count, and execution mode, the report summary, the trace's
+deterministic section, and the metrics document's deterministic
+section are byte-identical to the single-shard baseline — clean,
+faulted, and resumed from on-disk shard partials.  A clean sharded run
+additionally matches the legacy in-line scan exactly; faulted runs
+only promise shard-count invariance (the per-group fault-RNG
+isolation necessarily draws losses in a different order than the
+legacy single-stream scan).
+"""
+
+import json
+
+import pytest
+
+from repro.core import HunterConfig, URHunter
+from repro.obs import RunTrace
+from repro.obs.metrics import build_metrics_document
+from repro.pipeline import CheckpointStore
+from repro.plan.pool import WorldSpec
+from repro.resilience.scenario import apply_scenario, load_scenario
+from repro.scenario import build_world, small_config
+
+SEED = 7
+LOSS = 0.15
+CHAOS = "tail-latency-storm"
+
+
+def run(
+    shards,
+    execution="batch",
+    loss=0.0,
+    chaos=None,
+    workers=1,
+    world_spec=None,
+    store=None,
+):
+    """One full measurement; returns the three byte-compared surfaces."""
+    world = build_world(small_config(seed=SEED))
+    if loss:
+        world.network.inject_faults(loss_rate=loss, seed=SEED)
+    config = HunterConfig(
+        execution=execution, shards=shards, shard_workers=workers
+    )
+    hunter = URHunter.from_world(world, config)
+    if chaos:
+        apply_scenario(load_scenario(chaos), world, hunter)
+    hunter.world_spec = world_spec
+    if store is not None:
+        hunter.shard_store = store
+    trace = RunTrace()
+    hunter.attach_trace(trace)
+    report = hunter.run()
+    doc = build_metrics_document(report, fingerprint="pinned")
+    return (
+        report.summary(),
+        trace.deterministic_lines(),
+        json.dumps(doc["deterministic"], sort_keys=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_legacy():
+    return run(0)
+
+
+@pytest.fixture(scope="module")
+def clean_s1():
+    return run(1)
+
+
+@pytest.fixture(scope="module")
+def clean_s2():
+    return run(2)
+
+
+@pytest.fixture(scope="module")
+def faulted_s1():
+    return run(1, loss=LOSS)
+
+
+class TestCleanEquivalence:
+    def test_single_shard_matches_the_legacy_scan(
+        self, clean_legacy, clean_s1
+    ):
+        assert clean_s1 == clean_legacy
+
+    def test_invariant_under_shard_count(self, clean_s1, clean_s2):
+        assert clean_s2 == clean_s1
+
+    def test_invariant_under_streaming_execution(self, clean_s1):
+        assert run(2, execution="stream") == clean_s1
+
+    def test_plan_built_event_names_the_hash(self, clean_s1):
+        world = build_world(small_config(seed=SEED))
+        hunter = URHunter.from_world(world)
+        (built,) = [
+            json.loads(line)
+            for line in clean_s1[1]
+            if '"event":"plan.built"' in line
+        ]
+        assert built["hash"] == hunter.plan.plan_hash
+        assert built["groups"] == len(hunter.plan.groups)
+        assert built["ur"] == len(hunter.plan.ur_units)
+
+    def test_run_end_accounts_for_every_query(self, clean_s2):
+        (run_end,) = [
+            json.loads(line)
+            for line in clean_s2[1]
+            if '"event":"run.end"' in line
+        ]
+        assert run_end["unaccounted"] == 0
+
+
+class TestFaultedEquivalence:
+    """Loss and chaos schedules: shard-count and execution-mode
+    invariant (baseline shards=1, per the module docstring)."""
+
+    def test_loss_invariant_under_shard_count(self, faulted_s1):
+        assert run(4, loss=LOSS) == faulted_s1
+
+    def test_loss_invariant_under_streaming_execution(self, faulted_s1):
+        assert run(2, loss=LOSS, execution="stream") == faulted_s1
+
+    def test_loss_actually_bites(self, faulted_s1, clean_s1):
+        assert faulted_s1 != clean_s1
+
+    def test_chaos_invariant_under_shard_count(self):
+        assert run(4, chaos=CHAOS) == run(1, chaos=CHAOS)
+
+
+class TestShardResume:
+    """Partials persist per shard; a fresh hunter over the same store
+    re-executes only the missing shards and merges byte-identically."""
+
+    def test_resume_from_partial_store(self, tmp_path, clean_s1):
+        store = CheckpointStore(str(tmp_path))
+        store.prepare("shard-resume", resume=False)
+        first = run(2, store=store)
+        assert first == clean_s1
+        partials = sorted(
+            path.name for path in tmp_path.glob("shard-part-*.json")
+        )
+        assert partials == [
+            "shard-part-00000.json",
+            "shard-part-00001.json",
+        ]
+        # simulate a crash that only persisted shard 0
+        (tmp_path / "shard-part-00001.json").unlink()
+        resumed = run(2, store=CheckpointStore(str(tmp_path)))
+        assert resumed == clean_s1
+
+    def test_mismatched_partials_are_ignored(self, tmp_path, clean_s1):
+        store = CheckpointStore(str(tmp_path))
+        store.prepare("shard-stale", resume=False)
+        stale = tmp_path / "shard-part-00000.json"
+        stale.write_text(
+            json.dumps(
+                {"shard": 0, "shards": 2, "plan": "0" * 64, "groups": []}
+            )
+        )
+        assert run(2, store=store) == clean_s1
+
+
+class TestProcessPool:
+    def test_pooled_shards_match_in_process(self, clean_s2):
+        spec = WorldSpec(scenario=small_config(seed=SEED))
+        assert run(2, workers=2, world_spec=spec) == clean_s2
+
+    def test_pooled_faulted_shards_match_in_process(self, faulted_s1):
+        spec = WorldSpec(
+            scenario=small_config(seed=SEED),
+            loss_rate=LOSS,
+            loss_seed=SEED,
+        )
+        assert run(2, loss=LOSS, workers=2, world_spec=spec) == faulted_s1
