@@ -14,7 +14,9 @@ Commands mirror the paper's evaluation artifacts:
   ``--chaos-script``);
 * ``plan``       — print the deterministic stage-1 scan-plan summary
   (unit counts, nameserver groups, shard partition) without running
-  a single query;
+  a single query; ``--json`` dumps it machine-readably, ``--diff
+  OLD.json`` compares against a saved dump, and ``--result-store``
+  explains which groups a warm run would replay vs re-execute;
 * ``trace summarize FILE`` — render a ``--trace-out`` JSONL as a
   per-stage span tree with event counters.
 
@@ -33,6 +35,13 @@ hedge, ``--aimd`` adapts send rate to timeout signals, and
 Sharding options: ``--shards N`` partitions the stage-1 UR scan into N
 isolated shards (byte-identical report), ``--shard-workers K`` executes
 them across K worker processes.
+
+Incremental options: ``--result-store DIR`` persists each nameserver
+group's merged stage-1 outcome content-addressed by its query units,
+zone serials, provider policy, and scan-shaping config; later runs
+replay unchanged groups from the store (byte-identical report) and
+re-execute only the dirty ones.  ``--no-incremental`` keeps the store
+untouched for one run; chaos/faulted runs bypass it automatically.
 
 Observability options: ``--trace-out PATH`` streams the run's event bus
 (:mod:`repro.obs`) to a JSONL file, ``--metrics-out PATH`` writes the
@@ -267,6 +276,53 @@ def build_parser() -> argparse.ArgumentParser:
             "shards run in this process; needs --shards)"
         ),
     )
+    incremental = parser.add_argument_group(
+        "incremental", "group-result store and warm re-scans"
+    )
+    incremental.add_argument(
+        "--result-store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist per-nameserver-group stage-1 outcomes in DIR and "
+            "replay unchanged groups on later runs (warm re-scan; the "
+            "report stays byte-identical to a cold run; chaos/faulted "
+            "runs bypass the store automatically)"
+        ),
+    )
+    incremental.add_argument(
+        "--incremental",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "replay stored group outcomes when --result-store is set "
+            "(default: on; --no-incremental executes every group and "
+            "leaves the store untouched)"
+        ),
+    )
+    planning = parser.add_argument_group(
+        "plan", "scan-plan inspection ('plan' command)"
+    )
+    planning.add_argument(
+        "--json",
+        action="store_true",
+        dest="plan_json",
+        help=(
+            "with 'plan': print the machine-readable plan summary "
+            "(save it to compare against a later plan with --diff)"
+        ),
+    )
+    planning.add_argument(
+        "--diff",
+        metavar="OLD.json",
+        dest="plan_diff",
+        default=None,
+        help=(
+            "with 'plan': diff the current plan against a saved --json "
+            "dump (added/removed/changed groups); exits 2 on malformed "
+            "input"
+        ),
+    )
     stage2 = parser.add_argument_group(
         "stage 2", "exclusion-stage parallelism and caching"
     )
@@ -458,6 +514,7 @@ def _hunter_config(args: argparse.Namespace) -> HunterConfig:
         capture_mode=args.capture_mode,
         shards=args.shards or 0,
         shard_workers=args.shard_workers or 1,
+        incremental=args.incremental,
     )
     if args.mx:
         config.query_types = (RRType.A, RRType.TXT, RRType.MX)
@@ -540,6 +597,7 @@ def _write_metrics(
     runner: PipelineRunner,
     hunter: URHunter,
     args: argparse.Namespace,
+    incremental=None,
 ) -> None:
     """Write the consolidated ``--metrics-out`` document."""
     flow_stats = hunter.last_flow_stats
@@ -555,12 +613,74 @@ def _write_metrics(
             flow_stats.to_metrics() if flow_stats is not None else None
         ),
         scan_path=ScanPathMetrics.from_network(hunter.network),
+        incremental=incremental,
     )
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n"
     )
+
+
+def _plan_command(
+    args: argparse.Namespace, hunter: URHunter, reporter: Reporter
+) -> int:
+    """Handle ``repro plan``: text summary, ``--json`` dump, ``--diff``
+    against a saved dump, and — with ``--result-store`` — the would-
+    replay/would-execute explanation for a warm run."""
+    from .incremental import (
+        GroupResultStore,
+        PlanDiffer,
+        PlanSummaryError,
+        diff_plan_summaries,
+        load_plan_summary,
+        plan_summary_json,
+        render_plan_diff,
+    )
+
+    summary = plan_summary_json(hunter.plan)
+    if args.plan_diff is not None:
+        try:
+            old = load_plan_summary(args.plan_diff)
+        except PlanSummaryError as error:
+            reporter.error(f"error: {error}")
+            return EXIT_USAGE
+        print(render_plan_diff(diff_plan_summaries(old, summary)))
+        return EXIT_OK
+    if args.plan_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(hunter.plan.summary(shards=hunter.config.shards or 1))
+    if args.result_store:
+        differ = PlanDiffer(GroupResultStore(args.result_store))
+        providers = {
+            target.address: target.provider
+            for target in hunter.nameservers
+        }
+        diff = differ.partition(
+            hunter.plan, hunter.network, hunter.config, providers
+        )
+        reasons: dict = {}
+        for decision in diff.decisions:
+            if decision.action == "execute":
+                reasons[decision.reason] = (
+                    reasons.get(decision.reason, 0) + 1
+                )
+        detail = ", ".join(
+            f"{count} {reason}"
+            for reason, count in sorted(reasons.items())
+        )
+        print(
+            f"result store: {diff.hits} groups would replay, "
+            f"{diff.dirty} would execute"
+            + (f" ({detail})" if detail else "")
+        )
+        for decision in diff.decisions:
+            # stale groups are the actionable ones: their nameserver
+            # state moved since the stored outcome was written
+            if decision.reason == "stale":
+                print(f"  stale: {decision.server_ip}")
+    return EXIT_OK
 
 
 def _chaos_command(args: argparse.Namespace, reporter: Reporter) -> int:
@@ -661,8 +781,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "plan":
         # pure plan inspection: the plan was built in the constructor,
         # before any packet moved — print and leave
-        print(hunter.plan.summary(shards=hunter_config.shards or 1))
-        return EXIT_OK
+        return _plan_command(args, hunter, reporter)
 
     try:
         _apply_faults(args, world, hunter)
@@ -698,6 +817,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos_script=args.chaos_script or None,
         )
 
+    result_store = None
+    if args.result_store:
+        from .incremental import GroupResultStore
+
+        result_store = GroupResultStore(args.result_store)
+        hunter.result_store = result_store
+
     trace = RunTrace(args.trace_out) if args.trace_out else None
     if trace is not None:
         hunter.attach_trace(trace)
@@ -732,8 +858,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         if trace is not None:
             trace.finalize()
     report = result.report
+    if result_store is not None:
+        result_store.write_stats()
+        stats = result_store.stats
+        reporter.info(
+            f"# result store: {stats['hits']} hits, "
+            f"{stats['misses']} misses, "
+            f"{stats['invalidated']} invalidated, "
+            f"{stats['stored']} stored"
+        )
     if args.metrics_out:
-        _write_metrics(args.metrics_out, report, runner, hunter, args)
+        _write_metrics(
+            args.metrics_out,
+            report,
+            runner,
+            hunter,
+            args,
+            incremental=(
+                result_store.stats if result_store is not None else None
+            ),
+        )
     if result.resumed:
         reporter.info(
             f"# resumed from checkpoint: {', '.join(result.resumed)}"

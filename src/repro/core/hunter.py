@@ -216,6 +216,11 @@ class HunterConfig:
     #: shard in this process; >1 needs a picklable world recipe, which
     #: the CLI provides)
     shard_workers: int = 1
+    #: replay unchanged nameserver groups from an attached
+    #: :class:`~repro.incremental.GroupResultStore` instead of
+    #: re-querying them (no-op without a store; the warm report is
+    #: byte-identical to a cold full scan — see repro.incremental)
+    incremental: bool = True
 
     #: knobs that do not change *what* the pipeline computes, only how
     #: fast — excluded from the checkpoint fingerprint so a run may be
@@ -231,6 +236,7 @@ class HunterConfig:
             "capture_mode",
             "shards",
             "shard_workers",
+            "incremental",
         }
     )
 
@@ -438,6 +444,11 @@ class URHunter:
         #: checkpoint store granting per-shard partial persistence
         #: (set by the pipeline runner when sharding is on)
         self.shard_store = None
+        #: incremental group result store (set by the CLI's
+        #: ``--result-store`` or a longitudinal study); groups whose
+        #: world state is unchanged replay from it instead of
+        #: re-querying — see :mod:`repro.incremental`
+        self.result_store = None
         # Populated by run(); kept for inspection and tests.
         self.correct_db: Optional[CorrectRecordDatabase] = None
         self.last_filter: Optional[SuspicionFilter] = None
@@ -572,7 +583,7 @@ class URHunter:
         self._plan_built(plan)
         self.collector.plan = plan
         correct_db = CorrectRecordDatabase(self.ipinfo)
-        if self.config.shards > 0:
+        if self.config.shards > 0 or self._incremental_ready():
             collection = self._collect_sharded(domains, correct_db, plan)
         else:
             collection = self.collector.collect_all(
@@ -590,6 +601,21 @@ class URHunter:
             now=collection.classification_epoch,
             notes=tuple(notes),
         )
+
+    def _incremental_ready(self) -> bool:
+        """Whether the incremental group path should run at ``shards=0``.
+
+        True only when a result store is attached, the knob is on, and
+        the run is cacheable.  Faulted or chaos-scripted runs stay on
+        the legacy in-line path (byte-identical to pre-store behaviour);
+        the shard runner re-checks cacheability and bypasses the store
+        itself when ``--shards`` forced it onto the group path anyway.
+        """
+        if self.result_store is None or not self.config.incremental:
+            return False
+        from ..incremental import run_cacheable
+
+        return run_cacheable(self)[0]
 
     def _collect_sharded(
         self,
@@ -886,7 +912,7 @@ class URHunter:
         # streams the pre-reduced outcomes instead of driving the
         # engine, and everything downstream is unchanged.
         payloads = None
-        if self.config.shards > 0:
+        if self.config.shards > 0 or self._incremental_ready():
             payloads = run_shard_scan(
                 self, plan, preamble.classification_epoch
             )

@@ -102,10 +102,16 @@ class LongitudinalStudy:
         world: "object",
         config: Optional[HunterConfig] = None,
         mutate: Optional[WorldMutation] = None,
+        result_store: "object" = None,
     ):
         self.world = world
         self.config = config
         self.mutate = mutate
+        #: optional :class:`~repro.incremental.GroupResultStore` shared
+        #: across rounds: round 0 runs cold and populates it, later
+        #: rounds replay every group the mutation hook left untouched —
+        #: the workload the store exists for
+        self.result_store = result_store
         self.snapshots: List[Snapshot] = []
 
     def run(
@@ -121,6 +127,7 @@ class LongitudinalStudy:
                 if self.mutate is not None:
                     self.mutate(self.world, index)
             hunter = URHunter.from_world(self.world, self.config)
+            hunter.result_store = self.result_store
             report = hunter.run(validate=False)
             self.snapshots.append(
                 Snapshot(

@@ -1,0 +1,272 @@
+"""The content-addressed group result store.
+
+A longitudinal deployment re-runs the same scan plan over a slowly
+changing world: most nameserver groups answer exactly as they did last
+round.  :class:`GroupResultStore` persists each group's merged outcome
+(the encoded :class:`~repro.plan.shards.GroupResult`: reduced
+responses, buffered trace events, ScanMetrics/resilience slices) under
+a two-level key:
+
+* the **identity** — a digest over the group's :class:`QueryUnit`
+  identities (server, qname, qtype, RD bit) — names the file, so one
+  group maps to one slot across runs of the same plan;
+* the **state digest** — a digest over the identity *plus* everything
+  that may change a group's answers between runs: the serving
+  :class:`~repro.dns.server.AuthoritativeServer`'s generation stamp and
+  per-zone serials, its unhosted policy and protective records, its
+  online bit, and the scan-shaping config fingerprint — decides whether
+  the slot may be replayed.
+
+A stored digest equal to the current one is a **hit** (replay, no
+queries); a stored file under a different digest is an **invalidate**
+(the world moved — re-execute and overwrite); no file is a **miss**.
+The classification epoch is deliberately *not* part of the digest:
+group results carry only epoch-relative values (elapsed times, latency
+deltas, clock-free deterministic events), so a group replayed thirty
+virtual days later composes byte-identically — that is the whole point
+of the warm run.
+
+Writes are atomic (temp file + ``os.replace``), mirroring the
+checkpoint store.  This module is a leaf: it imports nothing from the
+rest of :mod:`repro`, so the plan layer can import it lazily without
+cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "GroupResultStore",
+    "group_identity",
+    "server_fingerprint",
+    "scan_config_fingerprint",
+    "state_digest",
+]
+
+#: bumped whenever the stored payload or key derivation changes — a
+#: version bump orphans every old slot (safe: orphans read as misses)
+STORE_FORMAT_VERSION = 1
+
+#: per-group result files: ``group-<identity>.json``
+GROUP_PREFIX = "group-"
+
+#: the store's run-counter sidecar (CI uploads it as an artifact)
+STATS_FILE = "store-stats.json"
+
+
+def _digest(payload: Any) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def group_identity(plan: Any, group: Any) -> str:
+    """The content address of one nameserver group.
+
+    Derived from the group's :class:`QueryUnit` identities in planned
+    scan order — the same structural tuple the plan hash covers — so it
+    is invariant under shard count, worker count, engine, execution
+    mode, and dict iteration order, and stable across runs of the same
+    plan.
+    """
+    return _digest(
+        {
+            "version": STORE_FORMAT_VERSION,
+            "server": group.server_ip,
+            "units": [
+                plan.ur_units[index].identity()
+                for index in group.unit_indices
+            ],
+        }
+    )
+
+
+def server_fingerprint(network: Any, server_ip: str) -> Optional[Dict[str, Any]]:
+    """Everything about the serving nameserver that can change answers.
+
+    Returns ``None`` when the address does not resolve to an
+    authoritative server with observable state (the group is then
+    uncacheable), and for servers with a ``recursive`` unhosted policy —
+    their answers depend on the wider network through the fallback
+    resolver, which no per-server stamp can witness.
+    """
+    service = network.dns_hosts().get(server_ip)
+    if service is None:
+        return None
+    zones = getattr(service, "zones", None)
+    generation = getattr(service, "generation", None)
+    policy = getattr(service, "unhosted_policy", None)
+    if zones is None or generation is None or policy is None:
+        return None
+    policy_value = getattr(policy, "value", str(policy))
+    if policy_value == "recursive" or getattr(
+        service, "recursive_fallback", None
+    ) is not None:
+        return None
+    return {
+        "generation": generation,
+        "zones": sorted(
+            [zone.origin.to_text(), zone.serial] for zone in zones
+        ),
+        "policy": policy_value,
+        "protective": sorted(
+            [int(rrtype), rdata.to_text()]
+            for rrtype, rdata in getattr(service, "protective_records", ())
+        ),
+        "online": bool(network.is_online(server_ip)),
+    }
+
+
+#: config knobs that shape what a group's scan computes — anything that
+#: can change a single query's outcome or the group's reduced counters.
+#: Over-keying is safe (a spurious re-execute); under-keying is not.
+SCAN_SHAPING_KNOBS = (
+    "seed",
+    "scanner_ip",
+    "probe_domain",
+    "query_types",
+    "engine",
+    "max_concurrency",
+    "retries",
+    "timeout",
+    "per_server_interval",
+    "run_deadline",
+    "stage_deadline",
+    "hedge_delay",
+    "aimd",
+)
+
+
+def scan_config_fingerprint(config: Any) -> str:
+    """Digest of the scan-shaping config knobs (see the tuple above)."""
+    knobs: Dict[str, Any] = {}
+    for knob in SCAN_SHAPING_KNOBS:
+        value = getattr(config, knob, None)
+        if isinstance(value, tuple):
+            value = [int(item) for item in value]
+        knobs[knob] = value
+    return _digest({"version": STORE_FORMAT_VERSION, "knobs": knobs})
+
+
+def state_digest(
+    identity: str, server: Dict[str, Any], provider: str, config_fp: str
+) -> str:
+    """The full replay-safety digest of one group slot."""
+    return _digest(
+        {
+            "version": STORE_FORMAT_VERSION,
+            "identity": identity,
+            "server": server,
+            "provider": provider,
+            "config": config_fp,
+        }
+    )
+
+
+class GroupResultStore:
+    """One directory of per-group result files plus run counters.
+
+    Payloads are the JSON-safe dicts produced by
+    :func:`~repro.plan.shards.encode_group_result` — the same encoding
+    shard partials and the process-pool wire format use — so replaying
+    a slot is exactly the merge path a freshly executed group takes.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        #: run-scoped counters (reset per process, persisted on demand)
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "invalidated": 0,
+            "stored": 0,
+            "uncacheable": 0,
+            "bypassed_runs": 0,
+        }
+
+    def _group_file(self, identity: str) -> Path:
+        return self.path / f"{GROUP_PREFIX}{identity}.json"
+
+    # -- slots -------------------------------------------------------------
+
+    def get(
+        self, identity: str, digest: str
+    ) -> Optional[Dict[str, Any]]:
+        """The stored payload when the slot matches ``digest``, else None.
+
+        Counts a hit, a miss (no slot), or an invalidate (stale slot —
+        the caller re-executes and :meth:`put` overwrites it).
+        """
+        path = self._group_file(identity)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                slot = json.load(handle)
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # a torn or unreadable slot degrades to a miss, never an abort
+            self.stats["misses"] += 1
+            return None
+        if (
+            slot.get("format") != STORE_FORMAT_VERSION
+            or slot.get("digest") != digest
+        ):
+            self.stats["invalidated"] += 1
+            return None
+        self.stats["hits"] += 1
+        return slot["group"]
+
+    def put(
+        self, identity: str, digest: str, payload: Dict[str, Any]
+    ) -> None:
+        """Persist one freshly executed group under its current digest."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._write(
+            self._group_file(identity),
+            {
+                "format": STORE_FORMAT_VERSION,
+                "identity": identity,
+                "digest": digest,
+                "group": payload,
+            },
+        )
+        self.stats["stored"] += 1
+
+    def identities(self) -> List[str]:
+        """All stored slot identities (sorted, for inspection/tests)."""
+        return sorted(
+            path.name[len(GROUP_PREFIX) : -len(".json")]
+            for path in self.path.glob(f"{GROUP_PREFIX}*.json")
+        )
+
+    # -- stats -------------------------------------------------------------
+
+    def write_stats(self) -> Path:
+        """Persist the run counters next to the slots (CI artifact)."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        target = self.path / STATS_FILE
+        self._write(
+            target,
+            {
+                "format": STORE_FORMAT_VERSION,
+                "slots": len(self.identities()),
+                **self.stats,
+            },
+        )
+        return target
+
+    # -- raw io ------------------------------------------------------------
+
+    @staticmethod
+    def _write(path: Path, payload: Dict[str, Any]) -> None:
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        os.replace(tmp, path)

@@ -32,8 +32,11 @@ from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 #: (v2: ``shed`` counters in the scan-engine block and the optional
 #: ``resilience`` deterministic section; v3: optional ``scan_path``
 #: timing block — cache hit rates depend on the scan-cache/capture-mode
-#: knobs, so they live outside the byte-compared section)
-METRICS_FORMAT_VERSION = 3
+#: knobs, so they live outside the byte-compared section; v4: optional
+#: ``incremental`` timing block with the group-result-store counters —
+#: hit/miss tallies depend on what an earlier run left in the store,
+#: so they can never join the byte-compared section)
+METRICS_FORMAT_VERSION = 4
 
 
 @runtime_checkable
@@ -119,6 +122,7 @@ def build_metrics_document(
     shard_workers: Optional[int] = None,
     flow_metrics: Any = None,
     scan_path: Any = None,
+    incremental: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the consolidated ``metrics.json`` document.
 
@@ -194,6 +198,11 @@ def build_metrics_document(
         # hit/miss tallies vary with --no-scan-cache/--capture-mode,
         # which by contract leave the deterministic section untouched
         timing["scan_path"] = scan_path.to_dict()
+    if incremental is not None:
+        # group-result-store counters: a warm run's hits depend on what
+        # the previous run stored, so they are run-history context —
+        # the deterministic section stays byte-identical warm vs cold
+        timing["incremental"] = dict(incremental)
 
     return {
         "format": METRICS_FORMAT_VERSION,

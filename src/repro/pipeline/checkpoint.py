@@ -626,6 +626,56 @@ class CheckpointStore:
         for path in self.path.glob(f"{self.SHARD_PREFIX}*.json"):
             path.unlink()
 
+    # -- garbage collection --------------------------------------------------
+
+    def prune_stale(
+        self,
+        plan_hash: Optional[str] = None,
+        shards: Optional[int] = None,
+        superseded_by: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Remove segment/partial files no resume could ever use.
+
+        Crashed runs leave ``stream-seg-*.json`` and
+        ``shard-part-*.json`` behind by design (they are the resume
+        medium); this prunes the subset that has become garbage:
+
+        * shard partials stamped with a different plan hash or shard
+          count (``load_shard_partials`` already ignores them — the
+          files just linger forever otherwise), and unreadable ones;
+        * both kinds once the stage named by ``superseded_by`` has a
+          completed checkpoint — the stage snapshot supersedes the
+          incremental files, and the staged resume path would never
+          clear them.
+
+        Returns ``{"segments": n, "partials": n}`` so the caller can
+        emit a ``checkpoint.pruned`` timing event.
+        """
+        pruned = {"segments": 0, "partials": 0}
+        superseded = superseded_by is not None and self.has(superseded_by)
+        for path in sorted(self.path.glob(f"{self.SHARD_PREFIX}*.json")):
+            try:
+                payload = self._read(path)
+            except CheckpointError:
+                payload = None
+            stale = (
+                superseded
+                or payload is None
+                or (
+                    plan_hash is not None
+                    and payload.get("plan") != plan_hash
+                )
+                or (shards is not None and payload.get("shards") != shards)
+            )
+            if stale:
+                path.unlink()
+                pruned["partials"] += 1
+        if superseded:
+            for path in self.path.glob(f"{self.SEGMENT_PREFIX}*.json"):
+                path.unlink()
+                pruned["segments"] += 1
+        return pruned
+
     # -- failure provenance ---------------------------------------------------
 
     def record_failure(self, stage: str, error: BaseException) -> None:

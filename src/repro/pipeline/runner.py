@@ -140,6 +140,12 @@ class PipelineRunner:
         if trace is not None:
             trace.emit(name, stage=stage, **fields)
 
+    def _emit_timing(self, name: str, **fields) -> None:
+        """Emit a timing-section event (run-to-run variant provenance)."""
+        trace = self.hunter.trace
+        if trace is not None:
+            trace.emit_timing(name, **fields)
+
     @staticmethod
     def _maybe_crash(stage: str) -> None:
         """Crash hook for kill-and-resume testing (see :data:`CRASH_ENV`)."""
@@ -222,6 +228,19 @@ class PipelineRunner:
                 # grant the shard runner per-shard partial persistence
                 # (a shard completed before a crash is not re-scanned)
                 self.hunter.shard_store = self.store
+            if self.resume:
+                # GC: a fresh run wiped the directory in prepare(); a
+                # resume keeps its usable segments/partials but prunes
+                # the ones no resume could ever load (stale plan/shard
+                # stamps, files superseded by a stage checkpoint)
+                config = self.hunter.config
+                pruned = self.store.prune_stale(
+                    plan_hash=self.hunter.plan.plan_hash,
+                    shards=config.shards if config.shards > 0 else 1,
+                    superseded_by=STAGE1,
+                )
+                if any(pruned.values()):
+                    self._emit_timing("checkpoint.pruned", **pruned)
         self._emit("run.start", fingerprint=self._fingerprint())
         if streaming and not (
             self.resume

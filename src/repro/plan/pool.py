@@ -94,8 +94,15 @@ def _run_shard(
     plan_hash: str,
     epoch: float,
     shard_index: int,
+    shard_count: int,
+    only_groups: Optional[Tuple[int, ...]] = None,
 ) -> Tuple[int, List[Dict[str, Any]]]:
-    """Worker entry point: execute one shard, return encoded groups."""
+    """Worker entry point: execute one shard, return encoded groups.
+
+    ``only_groups`` restricts execution to the named group indices (the
+    incremental path's dirty groups) — group isolation makes skipping
+    the replayed siblings side-effect free.
+    """
     from .shards import encode_group_result, run_group_isolated
 
     hunter = _replica(spec, config)
@@ -105,7 +112,7 @@ def _run_shard(
             "shard worker world diverged from the parent: plan hash "
             f"{plan.plan_hash} != {plan_hash}"
         )
-    shard = plan.shard(config.shards)[shard_index]
+    shard = plan.shard(shard_count)[shard_index]
     base_seed = getattr(hunter.network, "fault_seed", 0)
     payloads = [
         encode_group_result(
@@ -120,6 +127,7 @@ def _run_shard(
             )
         )
         for group in shard.groups
+        if only_groups is None or group.index in only_groups
     ]
     return shard_index, payloads
 
@@ -130,13 +138,30 @@ def execute_shards_pooled(
     plan_hash: str,
     epoch: float,
     shard_indices: Sequence[int],
+    shard_count: Optional[int] = None,
+    only_groups: Optional[Dict[int, Tuple[int, ...]]] = None,
 ) -> Dict[int, List[Dict[str, Any]]]:
-    """Run the given shards across ``config.shard_workers`` processes."""
+    """Run the given shards across ``config.shard_workers`` processes.
+
+    ``shard_count`` defaults to ``config.shards`` (the incremental path
+    passes its effective count explicitly); ``only_groups`` optionally
+    maps a shard index to the group indices it should execute.
+    """
+    count = config.shards if shard_count is None else shard_count
     workers = max(1, min(config.shard_workers, len(shard_indices)))
     results: Dict[int, List[Dict[str, Any]]] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(_run_shard, spec, config, plan_hash, epoch, index)
+            pool.submit(
+                _run_shard,
+                spec,
+                config,
+                plan_hash,
+                epoch,
+                index,
+                count,
+                None if only_groups is None else only_groups.get(index),
+            )
             for index in shard_indices
         ]
         for future in futures:

@@ -287,25 +287,101 @@ def _emit_timing(trace, name: str, **fields) -> None:
         trace.emit_timing(name, **fields)
 
 
+def _incremental_partition(
+    hunter, plan: ScanPlan, trace
+) -> Tuple[Dict[int, Dict[str, Any]], Dict[int, Any], Optional[Any]]:
+    """Consult the group result store, if one is active and safe.
+
+    Returns ``(replayed payloads by group, decisions by group, store)``
+    — all empty/None when no store is attached, ``--no-incremental`` is
+    set, or the run is not cacheable (network faults installed or
+    non-deterministic sources wired in), in which case the store is
+    bypassed entirely: never read, never written.
+    """
+    result_store = getattr(hunter, "result_store", None)
+    config = hunter.config
+    if result_store is None or not getattr(config, "incremental", True):
+        return {}, {}, None
+    from ..incremental import PlanDiffer, run_cacheable
+
+    cacheable, reason = run_cacheable(hunter)
+    if not cacheable:
+        result_store.stats["bypassed_runs"] += 1
+        _emit_timing(trace, "incremental.bypass", reason=reason)
+        return {}, {}, None
+    providers = {
+        target.address: target.provider for target in hunter.nameservers
+    }
+    diff = PlanDiffer(result_store).partition(
+        plan, hunter.network, config, providers
+    )
+    decisions: Dict[int, Any] = {}
+    for decision in diff.decisions:
+        decisions[decision.group] = decision
+        if decision.action == "hit":
+            _emit_timing(
+                trace,
+                "incremental.hit",
+                group=decision.group,
+                server=decision.server_ip,
+            )
+        elif decision.reason == "stale":
+            _emit_timing(
+                trace,
+                "incremental.invalidate",
+                group=decision.group,
+                server=decision.server_ip,
+            )
+        else:
+            _emit_timing(
+                trace,
+                "incremental.miss",
+                group=decision.group,
+                server=decision.server_ip,
+                reason=decision.reason,
+            )
+    _emit_timing(
+        trace,
+        "incremental.plan",
+        groups=len(diff.decisions),
+        hits=diff.hits,
+        dirty=diff.dirty,
+    )
+    return diff.replayed, decisions, result_store
+
+
 def run_shard_scan(hunter, plan: ScanPlan, epoch: float) -> List[ReducedOutcome]:
     """Execute the plan's UR scan shard by shard and merge the results.
 
     Runs every shard (loading previously checkpointed partials where
-    available), then folds metrics/resilience/trace events into the
+    available, replaying store hits where an incremental result store
+    is active), then folds metrics/resilience/trace events into the
     hunter's parent objects and advances the parent clock by the
     makespan.  Returns the reduced outcomes in global plan order.
     """
     network = hunter.network
     config = hunter.config
     trace = hunter.trace
-    shard_count = config.shards
+    # incremental runs take this path at --shards 0 too: one shard,
+    # which existing equivalence tests prove byte-identical to the
+    # legacy in-line scan
+    shard_count = config.shards if config.shards > 0 else 1
     shards = plan.shard(shard_count)
     store = getattr(hunter, "shard_store", None)
+
+    replayed, decisions, result_store = _incremental_partition(
+        hunter, plan, trace
+    )
 
     cached: Dict[int, List[Dict[str, Any]]] = {}
     if store is not None:
         cached = store.load_shard_partials(plan.plan_hash, shard_count)
-    pending = [shard for shard in shards if shard.index not in cached]
+    pending = [
+        shard
+        for shard in shards
+        if shard.index not in cached
+        and any(group.index not in replayed for group in shard.groups)
+    ]
 
     pool_results: Optional[Dict[int, List[Dict[str, Any]]]] = None
     if (
@@ -315,12 +391,24 @@ def run_shard_scan(hunter, plan: ScanPlan, epoch: float) -> List[ReducedOutcome]
     ):
         from .pool import execute_shards_pooled
 
+        only_groups = None
+        if replayed:
+            only_groups = {
+                shard.index: tuple(
+                    group.index
+                    for group in shard.groups
+                    if group.index not in replayed
+                )
+                for shard in pending
+            }
         pool_results = execute_shards_pooled(
             hunter.world_spec,
             config,
             plan.plan_hash,
             epoch,
             [shard.index for shard in pending],
+            shard_count=shard_count,
+            only_groups=only_groups,
         )
 
     # The per-group reseeding below clobbers the network fault RNG;
@@ -347,10 +435,10 @@ def run_shard_scan(hunter, plan: ScanPlan, epoch: float) -> List[ReducedOutcome]
             groups=len(shard.groups),
             units=shard.unit_count,
         )
-        if pool_results is not None:
-            payloads = pool_results[shard.index]
+        if pool_results is not None and shard.index in pool_results:
+            executed = pool_results[shard.index]
         else:
-            payloads = [
+            executed = [
                 encode_group_result(
                     run_group_isolated(
                         network,
@@ -363,8 +451,27 @@ def run_shard_scan(hunter, plan: ScanPlan, epoch: float) -> List[ReducedOutcome]
                     )
                 )
                 for group in shard.groups
+                if group.index not in replayed
             ]
+        # merge replayed and freshly executed groups in shard order —
+        # the byte-identity invariant makes the interleave seamless
+        executed_by_group = {
+            payload["group"]: payload for payload in executed
+        }
+        payloads = [
+            replayed[group.index]
+            if group.index in replayed
+            else executed_by_group[group.index]
+            for group in shard.groups
+        ]
         shard_payloads[shard.index] = payloads
+        if result_store is not None:
+            for payload in executed:
+                decision = decisions.get(payload["group"])
+                if decision is not None and decision.identity is not None:
+                    result_store.put(
+                        decision.identity, decision.digest, payload
+                    )
         if store is not None:
             store.save_shard_partial(
                 shard.index, shard_count, plan.plan_hash, payloads

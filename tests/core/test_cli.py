@@ -205,3 +205,97 @@ class TestObservability:
         assert main(["trace"]) == 2
         assert main(["trace", "frobnicate", "x"]) == 2
         assert "usage: repro trace summarize" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def test_plan_json_round_trips(self, tmp_path, capsys):
+        assert main(BASE + ["-q", "plan", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == 1
+        assert len(payload["plan"]) == 64
+        assert payload["groups"]
+        assert all("identity" in group for group in payload["groups"])
+
+    def test_plan_diff_identical(self, tmp_path, capsys):
+        assert main(BASE + ["-q", "plan", "--json"]) == 0
+        dump = tmp_path / "plan.json"
+        dump.write_text(capsys.readouterr().out)
+        assert main(BASE + ["-q", "plan", "--diff", str(dump)]) == 0
+        assert "plans are identical" in capsys.readouterr().out
+
+    def test_plan_diff_other_seed(self, tmp_path, capsys):
+        assert main(BASE + ["-q", "plan", "--json"]) == 0
+        dump = tmp_path / "plan.json"
+        dump.write_text(capsys.readouterr().out)
+        assert (
+            main(
+                ["--scale", "small", "--seed", "10", "-q"]
+                + ["plan", "--diff", str(dump)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "plans are identical" not in out
+        assert "changed" in out
+
+    def test_plan_diff_malformed_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": 99}')
+        assert main(BASE + ["-q", "plan", "--diff", str(bad)]) == 2
+        assert "plan summary" in capsys.readouterr().err
+
+    def test_plan_diff_missing_file_exits_2(self, tmp_path, capsys):
+        absent = tmp_path / "absent.json"
+        assert main(BASE + ["-q", "plan", "--diff", str(absent)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_plan_explains_result_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(BASE + ["-q", "plan", "--result-store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "would replay" in out
+        assert "would execute" in out
+
+
+class TestResultStore:
+    def test_warm_run_is_byte_identical_and_counted(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        metrics = tmp_path / "metrics.json"
+        flags = ["--result-store", str(store), "-q", "run"]
+        assert main(BASE + flags) == 0
+        cold_out = capsys.readouterr().out
+        assert main(
+            BASE + ["--metrics-out", str(metrics)] + flags
+        ) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out
+        document = json.loads(metrics.read_text())
+        counters = document["timing"]["incremental"]
+        assert counters["hits"] > 0
+        assert counters["misses"] == counters["stored"] == 0
+        stats = json.loads((store / "store-stats.json").read_text())
+        assert stats["hits"] == counters["hits"]
+
+    def test_no_incremental_leaves_the_store_alone(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert main(BASE + ["-q", "run"]) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main(
+                BASE
+                + [
+                    "--result-store",
+                    str(store),
+                    "--no-incremental",
+                    "-q",
+                    "run",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == plain
+        assert not list(store.glob("group-*.json"))

@@ -1,5 +1,8 @@
 """Tests for repro.core.longitudinal: repeated snapshots and diffs."""
 
+import random
+from types import SimpleNamespace
+
 import pytest
 
 from repro.core.longitudinal import (
@@ -7,7 +10,8 @@ from repro.core.longitudinal import (
     Snapshot,
     diff_reports,
 )
-from repro.core.records import URCategory
+from repro.core.records import ClassifiedUR, URCategory, UndelegatedRecord
+from repro.dns.name import Name
 from repro.scenario import build_world, small_config
 
 
@@ -27,6 +31,104 @@ class TestDiffReports:
         assert diff.disappeared == []
         assert diff.category_changes == {}
         assert diff.persisted == len(first.classified)
+
+
+def _synthetic_report(rng, pool_size=40, sample=25):
+    """A report stand-in with a seeded-random classified population.
+
+    ``diff_reports`` reads only ``report.classified``; drawing from a
+    shared UR pool makes overlap (persistence, category churn) likely
+    while keeping every draw reproducible from the rng.
+    """
+    classified = []
+    seen = set()
+    for _ in range(sample):
+        index = rng.randrange(pool_size)
+        if index in seen:
+            continue
+        seen.add(index)
+        record = UndelegatedRecord(
+            domain=Name.from_text(f"ur-{index}.example.com"),
+            nameserver_ip=f"10.0.{index % 8}.{index}",
+            provider="ClouDNS",
+            rrtype=1 if index % 3 else 16,
+            rdata_text=f"198.51.100.{index}",
+        )
+        classified.append(
+            ClassifiedUR(
+                record=record,
+                category=rng.choice(list(URCategory)),
+            )
+        )
+    return SimpleNamespace(classified=classified)
+
+
+class TestDiffReportsProperties:
+    """Seeded-random property tests: the invariants every snapshot
+    pair must satisfy, regardless of the populations drawn."""
+
+    SEEDS = range(20)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reflexivity(self, seed):
+        report = _synthetic_report(random.Random(seed))
+        diff = diff_reports(report, report)
+        assert diff.appeared == []
+        assert diff.disappeared == []
+        assert diff.category_changes == {}
+        assert diff.persisted == len(report.classified)
+        assert diff.newly_malicious == []
+        assert diff.became_malicious() == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_key_stability_and_conservation(self, seed):
+        rng = random.Random(seed)
+        before, after = _synthetic_report(rng), _synthetic_report(rng)
+        diff = diff_reports(before, after)
+        old_keys = {entry.record.key for entry in before.classified}
+        new_keys = {entry.record.key for entry in after.classified}
+        # every classified key is accounted for exactly once
+        assert {e.record.key for e in diff.appeared} == new_keys - old_keys
+        assert {e.record.key for e in diff.disappeared} == (
+            old_keys - new_keys
+        )
+        assert diff.persisted == len(old_keys & new_keys)
+        # category changes only ever name persisted keys
+        assert set(diff.category_changes) <= old_keys & new_keys
+        for key, (old, new) in diff.category_changes.items():
+            assert old is not new
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_newly_and_became_malicious_are_disjoint(self, seed):
+        rng = random.Random(seed)
+        before, after = _synthetic_report(rng), _synthetic_report(rng)
+        diff = diff_reports(before, after)
+        newly = {entry.record.key for entry in diff.newly_malicious}
+        became = set(diff.became_malicious())
+        # appeared-malicious vs upgraded-in-place partition the new
+        # malicious population: a key cannot be in both
+        assert newly & became == set()
+        assert all(entry.is_malicious for entry in diff.newly_malicious)
+        for key in became:
+            old, new = diff.category_changes[key]
+            assert new is URCategory.MALICIOUS
+            assert old is not URCategory.MALICIOUS
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_diff_is_antisymmetric(self, seed):
+        rng = random.Random(seed)
+        before, after = _synthetic_report(rng), _synthetic_report(rng)
+        forward = diff_reports(before, after)
+        backward = diff_reports(after, before)
+        assert {e.record.key for e in forward.appeared} == {
+            e.record.key for e in backward.disappeared
+        }
+        assert forward.persisted == backward.persisted
+        assert set(forward.category_changes) == set(
+            backward.category_changes
+        )
+        for key, (old, new) in forward.category_changes.items():
+            assert backward.category_changes[key] == (new, old)
 
 
 class TestStudy:

@@ -1,0 +1,286 @@
+"""Unit tests for the group result store: keys, slots, plan summaries.
+
+The store's correctness argument rests on the two-level key: the
+identity names the slot (stable across runs of the same plan), the
+state digest decides replay (any change to the serving nameserver's
+answer-relevant state, the provider policy, or the scan-shaping config
+must invalidate).  These tests pin both directions — stability where
+the world is unchanged, invalidation on every mutation class.
+"""
+
+import json
+
+import pytest
+
+from repro.core import HunterConfig, URHunter
+from repro.dns.rdata import A
+from repro.incremental import (
+    STORE_FORMAT_VERSION,
+    GroupResultStore,
+    PlanSummaryError,
+    diff_plan_summaries,
+    group_identity,
+    load_plan_summary,
+    plan_summary_json,
+    render_plan_diff,
+    scan_config_fingerprint,
+    server_fingerprint,
+    state_digest,
+)
+from repro.scenario import build_world, small_config
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(small_config(seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def hunter(world):
+    return URHunter.from_world(world)
+
+
+class TestGroupIdentity:
+    def test_stable_across_world_rebuilds(self, hunter):
+        other = URHunter.from_world(build_world(small_config(seed=SEED)))
+        ours = [
+            group_identity(hunter.plan, group)
+            for group in hunter.plan.groups
+        ]
+        theirs = [
+            group_identity(other.plan, group)
+            for group in other.plan.groups
+        ]
+        assert ours == theirs
+
+    def test_distinct_per_group(self, hunter):
+        identities = [
+            group_identity(hunter.plan, group)
+            for group in hunter.plan.groups
+        ]
+        assert len(set(identities)) == len(identities)
+
+
+class TestConfigFingerprint:
+    def test_stable_for_equal_configs(self):
+        assert scan_config_fingerprint(
+            HunterConfig()
+        ) == scan_config_fingerprint(HunterConfig())
+
+    def test_scan_shaping_knobs_invalidate(self):
+        base = scan_config_fingerprint(HunterConfig())
+        assert scan_config_fingerprint(HunterConfig(timeout=9.0)) != base
+        assert scan_config_fingerprint(HunterConfig(retries=5)) != base
+
+    def test_perf_knobs_do_not_invalidate(self):
+        # execution mode, worker counts, sharding, and the incremental
+        # switch itself never change a group's computed outcome
+        base = scan_config_fingerprint(HunterConfig())
+        for config in (
+            HunterConfig(execution="stream"),
+            HunterConfig(shards=4, shard_workers=2),
+            HunterConfig(stage2_workers=8),
+            HunterConfig(incremental=False),
+        ):
+            assert scan_config_fingerprint(config) == base
+
+
+class TestServerFingerprint:
+    def test_cacheable_server_shape(self, world, hunter):
+        fingerprint = None
+        for group in hunter.plan.groups:
+            fingerprint = server_fingerprint(
+                world.network, group.server_ip
+            )
+            if fingerprint is not None:
+                break
+        assert fingerprint is not None
+        assert set(fingerprint) == {
+            "generation",
+            "zones",
+            "policy",
+            "protective",
+            "online",
+        }
+
+    def test_unknown_address_is_uncacheable(self, world):
+        assert server_fingerprint(world.network, "198.51.100.254") is None
+
+    def test_recursive_fallback_server_is_uncacheable(self, world, hunter):
+        # the small world serves one group through a recursive-policy
+        # nameserver; its answers depend on the wider network, so no
+        # per-server stamp can make it safe to replay
+        fingerprints = [
+            server_fingerprint(world.network, group.server_ip)
+            for group in hunter.plan.groups
+        ]
+        assert any(entry is None for entry in fingerprints)
+        assert sum(entry is not None for entry in fingerprints) > len(
+            fingerprints
+        ) // 2
+
+    def test_zone_mutation_changes_the_fingerprint(self):
+        fresh = build_world(small_config(seed=SEED))
+        scout = URHunter.from_world(fresh)
+        for group in scout.plan.groups:
+            before = server_fingerprint(fresh.network, group.server_ip)
+            if before is not None:
+                break
+        service = fresh.network.dns_hosts()[group.server_ip]
+        zone = service.zones[0]
+        zone.add(zone.origin, A("203.0.113.99"), ttl=60)
+        after = server_fingerprint(fresh.network, group.server_ip)
+        assert after != before
+
+
+class TestStateDigest:
+    def test_every_component_invalidates(self, world, hunter):
+        for group in hunter.plan.groups:
+            server = server_fingerprint(world.network, group.server_ip)
+            if server is not None:
+                break
+        identity = group_identity(hunter.plan, group)
+        config_fp = scan_config_fingerprint(HunterConfig())
+        base = state_digest(identity, server, "GoDaddy", config_fp)
+        assert base == state_digest(
+            identity, server, "GoDaddy", config_fp
+        )
+        assert state_digest(identity, server, "NameSilo", config_fp) != base
+        other_fp = scan_config_fingerprint(HunterConfig(timeout=9.0))
+        assert state_digest(identity, server, "GoDaddy", other_fp) != base
+        bumped = dict(server, generation=server["generation"] + 1)
+        assert state_digest(identity, bumped, "GoDaddy", config_fp) != base
+
+
+class TestStoreSlots:
+    def test_empty_store_misses(self, tmp_path):
+        store = GroupResultStore(tmp_path / "store")
+        assert store.get("abc", "digest") is None
+        assert store.stats["misses"] == 1
+        assert store.stats["hits"] == 0
+
+    def test_put_then_get_hits(self, tmp_path):
+        store = GroupResultStore(tmp_path / "store")
+        payload = {"group": 3, "responses": ["..."]}
+        store.put("abc", "digest-1", payload)
+        assert store.get("abc", "digest-1") == payload
+        assert store.stats == {
+            "hits": 1,
+            "misses": 0,
+            "invalidated": 0,
+            "stored": 1,
+            "uncacheable": 0,
+            "bypassed_runs": 0,
+        }
+
+    def test_stale_digest_invalidates(self, tmp_path):
+        store = GroupResultStore(tmp_path / "store")
+        store.put("abc", "digest-1", {"group": 3})
+        assert store.get("abc", "digest-2") is None
+        assert store.stats["invalidated"] == 1
+
+    def test_foreign_format_invalidates(self, tmp_path):
+        store = GroupResultStore(tmp_path)
+        slot = tmp_path / "group-abc.json"
+        slot.write_text(
+            json.dumps(
+                {
+                    "format": STORE_FORMAT_VERSION + 1,
+                    "digest": "digest-1",
+                    "group": {},
+                }
+            )
+        )
+        assert store.get("abc", "digest-1") is None
+        assert store.stats["invalidated"] == 1
+
+    def test_torn_slot_degrades_to_a_miss(self, tmp_path):
+        store = GroupResultStore(tmp_path)
+        (tmp_path / "group-abc.json").write_text('{"format": 1, "dig')
+        assert store.get("abc", "digest-1") is None
+        assert store.stats["misses"] == 1
+
+    def test_identities_are_sorted(self, tmp_path):
+        store = GroupResultStore(tmp_path)
+        store.put("bbb", "d", {})
+        store.put("aaa", "d", {})
+        assert store.identities() == ["aaa", "bbb"]
+
+    def test_write_stats_artifact(self, tmp_path):
+        store = GroupResultStore(tmp_path)
+        store.put("aaa", "d", {})
+        store.get("aaa", "d")
+        target = store.write_stats()
+        payload = json.loads(target.read_text())
+        assert payload["format"] == STORE_FORMAT_VERSION
+        assert payload["slots"] == 1
+        assert payload["hits"] == 1
+        assert payload["stored"] == 1
+
+
+class TestPlanSummary:
+    def test_dump_is_deterministic(self, hunter):
+        other = URHunter.from_world(build_world(small_config(seed=SEED)))
+        assert plan_summary_json(hunter.plan) == plan_summary_json(
+            other.plan
+        )
+
+    def test_round_trip(self, tmp_path, hunter):
+        dump = plan_summary_json(hunter.plan)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(dump))
+        assert load_plan_summary(path) == dump
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not json at all {",
+            json.dumps([1, 2, 3]),
+            json.dumps({"format": 99, "groups": []}),
+            json.dumps({"format": 1}),
+            json.dumps({"format": 1, "groups": [{"server": "1.2.3.4"}]}),
+        ],
+    )
+    def test_malformed_summaries_raise(self, tmp_path, content):
+        path = tmp_path / "bad.json"
+        path.write_text(content)
+        with pytest.raises(PlanSummaryError):
+            load_plan_summary(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PlanSummaryError):
+            load_plan_summary(tmp_path / "absent.json")
+
+    def test_diff_of_identical_plans(self, hunter):
+        dump = plan_summary_json(hunter.plan)
+        diff = diff_plan_summaries(dump, dump)
+        assert diff["identical"]
+        assert diff["added"] == diff["removed"] == diff["changed"] == []
+        assert "identical" in render_plan_diff(diff)
+
+    def test_diff_surfaces_structural_changes(self, hunter):
+        old = plan_summary_json(hunter.plan)
+        new = json.loads(json.dumps(old))
+        new["plan"] = "0" * 64
+        moved = new["groups"][0]["server"]
+        new["groups"][0]["identity"] = "tampered"
+        dropped = new["groups"][1]["server"]
+        del new["groups"][1]
+        new["groups"].append(
+            {
+                "index": 999,
+                "server": "203.0.113.250",
+                "units": 1,
+                "identity": "fresh",
+            }
+        )
+        diff = diff_plan_summaries(old, new)
+        assert not diff["identical"]
+        assert diff["changed"] == [moved]
+        assert diff["removed"] == [dropped]
+        assert diff["added"] == ["203.0.113.250"]
+        rendered = render_plan_diff(diff)
+        assert f"changed: {moved}" in rendered
+        assert f"added: 203.0.113.250" in rendered

@@ -26,9 +26,12 @@ from repro.obs import METRICS_FORMAT_VERSION, TRACE_FORMAT_VERSION
 #: tallies vary with the fast-lane knobs, so they are timing, never
 #: deterministic;
 #: trace v3: scan-plan hash in the header of plan-bound traces, the
-#: "plan.built" deterministic event, and "shard.*" timing events)
+#: "plan.built" deterministic event, and "shard.*" timing events;
+#: metrics v4: optional "incremental" timing block — group-result-store
+#: hit/miss counters depend on prior-run state, so timing, never
+#: deterministic)
 PINNED_TRACE_FORMAT = 3
-PINNED_METRICS_FORMAT = 3
+PINNED_METRICS_FORMAT = 4
 
 #: every run.end must account for queries with exactly these counters
 RUN_END_REQUIRED = {

@@ -246,3 +246,58 @@ class TestCheckpointStore:
             (tmp_path / "stage1-collect.json").read_text()
         )
         assert payload == {"records": [1, 2, 3]}
+
+
+class TestPruneStale:
+    """Checkpoint-directory GC: crashed runs leave segments/partials
+    behind by design; prune_stale removes only the unusable subset."""
+
+    PLAN = "a" * 64
+
+    def _store(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.prepare("fp", resume=False)
+        return store
+
+    def test_mismatched_partials_are_pruned(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save_shard_partial(0, 2, self.PLAN, [])
+        store.save_shard_partial(1, 4, self.PLAN, [])
+        store.save_shard_partial(2, 2, "b" * 64, [])
+        (tmp_path / "shard-part-00003.json").write_text("{torn")
+        pruned = store.prune_stale(plan_hash=self.PLAN, shards=2)
+        assert pruned == {"segments": 0, "partials": 3}
+        assert [path.name for path in tmp_path.glob("shard-part-*")] == [
+            "shard-part-00000.json"
+        ]
+
+    def test_matching_partials_survive(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save_shard_partial(0, 2, self.PLAN, [])
+        store.save_shard_partial(1, 2, self.PLAN, [])
+        pruned = store.prune_stale(plan_hash=self.PLAN, shards=2)
+        assert pruned == {"segments": 0, "partials": 0}
+        assert store.load_shard_partials(self.PLAN, 2) != {}
+
+    def test_superseding_stage_prunes_everything(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save_segment(0, {"classified": []})
+        store.save_segment(1, {"classified": []})
+        store.save_shard_partial(0, 2, self.PLAN, [])
+        store.save("stage1-collect", {"records": []})
+        pruned = store.prune_stale(
+            plan_hash=self.PLAN, shards=2, superseded_by="stage1-collect"
+        )
+        assert pruned == {"segments": 2, "partials": 1}
+        assert list(tmp_path.glob("stream-seg-*")) == []
+        assert list(tmp_path.glob("shard-part-*")) == []
+        assert store.has("stage1-collect")
+
+    def test_segments_survive_without_superseding_stage(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save_segment(0, {"classified": []})
+        pruned = store.prune_stale(
+            plan_hash=self.PLAN, shards=2, superseded_by="stage1-collect"
+        )
+        assert pruned == {"segments": 0, "partials": 0}
+        assert len(list(tmp_path.glob("stream-seg-*"))) == 1

@@ -170,3 +170,50 @@ class TestKillAndResumeSubprocess:
         assert resumed.returncode == 0, resumed.stderr.decode()
         assert resumed.stdout == baseline.stdout
         assert b"resumed from checkpoint" in resumed.stderr
+
+
+class TestPrunedEvent:
+    """Resumes garbage-collect unusable segment/partial files and
+    announce it with a ``checkpoint.pruned`` timing event."""
+
+    def test_resume_prunes_stale_partials_and_emits(self, tmp_path):
+        from repro.obs import RunTrace
+
+        store = CheckpointStore(tmp_path)
+        PipelineRunner(
+            URHunter.from_world(make_world()), store=store
+        ).run()
+        # a crashed earlier run under a different plan left this behind
+        store.save_shard_partial(0, 2, "0" * 64, [])
+        hunter = URHunter.from_world(make_world())
+        trace = RunTrace()
+        hunter.attach_trace(trace)
+        PipelineRunner(
+            hunter, store=CheckpointStore(tmp_path), resume=True
+        ).run()
+        assert list(tmp_path.glob("shard-part-*")) == []
+        (pruned,) = [
+            event
+            for event in trace.timing_events()
+            if event["event"] == "checkpoint.pruned"
+        ]
+        assert pruned["partials"] >= 1
+
+    def test_clean_resume_emits_nothing(self, tmp_path):
+        from repro.obs import RunTrace
+
+        store = CheckpointStore(tmp_path)
+        PipelineRunner(
+            URHunter.from_world(make_world()), store=store
+        ).run(stop_after=STAGE1)
+        hunter = URHunter.from_world(make_world())
+        trace = RunTrace()
+        hunter.attach_trace(trace)
+        PipelineRunner(
+            hunter, store=CheckpointStore(tmp_path), resume=True
+        ).run()
+        assert [
+            event
+            for event in trace.timing_events()
+            if event["event"] == "checkpoint.pruned"
+        ] == []
